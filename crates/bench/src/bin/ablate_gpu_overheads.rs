@@ -1,0 +1,73 @@
+//! Ablation: GPU deployment overheads (paper observation IV.5 — running
+//! recommendation models "out of the box" on GPUs underutilises compute).
+//!
+//! Re-evaluates the same traces with the PCIe transfer and/or the
+//! kernel-launch overhead disabled to show how much of GPU time is not
+//! compute at all.
+
+use drec_analysis::{fmt_seconds, Table};
+use drec_bench::BenchArgs;
+use drec_core::Characterizer;
+use drec_hwsim::{GpuModel, Platform};
+use drec_models::ModelId;
+
+fn variant(base: GpuModel, no_pcie: bool, no_launch: bool) -> Platform {
+    let mut m = base;
+    if no_pcie {
+        m.pcie_bw = 1e15;
+        m.pcie_latency_s = 0.0;
+    }
+    if no_launch {
+        m.launch_overhead_s = 0.0;
+        m.min_kernel_s = 0.0;
+    }
+    Platform::Gpu(m)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    for (id, batch) in [
+        (ModelId::Wnd, 1024),
+        (ModelId::Din, 1024),
+        (ModelId::Rm2, 1024),
+    ] {
+        let mut model = id.build(args.scale, 7).expect("build");
+        let trace = characterizer.trace(&mut model, batch).expect("trace");
+        let mut table = Table::new(vec![
+            "Configuration".into(),
+            "Time".into(),
+            "Speedup".into(),
+        ]);
+        let base = characterizer
+            .report_from_trace(
+                id.name(),
+                &trace,
+                &variant(GpuModel::gtx_1080_ti(), false, false),
+            )
+            .latency_seconds;
+        for (label, no_pcie, no_launch) in [
+            ("Out of the box", false, false),
+            ("No PCIe transfer", true, false),
+            ("No launch overhead", false, true),
+            ("Compute only", true, true),
+        ] {
+            let secs = characterizer
+                .report_from_trace(
+                    id.name(),
+                    &trace,
+                    &variant(GpuModel::gtx_1080_ti(), no_pcie, no_launch),
+                )
+                .latency_seconds;
+            table.row(vec![
+                label.to_string(),
+                fmt_seconds(secs),
+                format!("{:.2}x", base / secs),
+            ]);
+        }
+        println!("\nAblation: {} on GTX 1080 Ti, batch {batch}", id.name());
+        println!("{}", table.render());
+    }
+    println!("The gap between 'out of the box' and 'compute only' is the");
+    println!("underutilisation the paper attributes to data communication.");
+}

@@ -1,0 +1,45 @@
+//! Ablation: categorical access locality (DESIGN.md §4).
+//!
+//! The paper's untrained-model methodology implies uniform-random
+//! embedding ids — the worst case for caches. Production traces are
+//! Zipf-skewed; this ablation quantifies how much of RM2's memory
+//! boundedness is a function of that assumption.
+
+use drec_analysis::Table;
+use drec_bench::{fmt_pct, BenchArgs};
+use drec_hwsim::Platform;
+use drec_models::ModelId;
+use drec_workload::{CategoricalDist, QueryGen};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let batch = 64;
+    let mut table = Table::new(vec![
+        "Id distribution".into(),
+        "Latency (BDW)".into(),
+        "Memory-bound".into(),
+        "DRAM congested".into(),
+    ]);
+    for (label, dist) in [
+        ("Uniform", CategoricalDist::Uniform),
+        ("Zipf s=0.8", CategoricalDist::Zipf { s: 0.8 }),
+        ("Zipf s=1.2", CategoricalDist::Zipf { s: 1.2 }),
+    ] {
+        let mut model = ModelId::Rm2.build(args.scale, 7).expect("build");
+        let mut gen = QueryGen::with_dist(11, dist);
+        let inputs = gen.batch(model.spec(), batch);
+        let (_, trace) = model.run_traced(inputs, batch).expect("trace");
+        let report = Platform::broadwell().evaluate(&trace);
+        let cpu = report.cpu.expect("cpu");
+        table.row(vec![
+            label.to_string(),
+            format!("{:.3} ms", report.seconds * 1e3),
+            fmt_pct(cpu.topdown.backend_memory),
+            fmt_pct(cpu.dram_congested_frac),
+        ]);
+    }
+    println!("Ablation: RM2 embedding-id locality (Broadwell, batch {batch})");
+    println!("{}", table.render());
+    println!("Skewed ids concentrate on hot rows that caches retain, easing");
+    println!("the memory bottleneck the uniform assumption maximises.");
+}

@@ -1,0 +1,30 @@
+//! Writes Graphviz DOT files for all eight model graphs (at `Tiny` scale
+//! by default — DIN at paper scale has ~1000 nodes and makes dot sweat).
+
+use std::fs;
+use std::path::Path;
+
+use drec_bench::BenchArgs;
+use drec_graph::dot::to_dot;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let out_dir = Path::new("results/dot");
+    fs::create_dir_all(out_dir).expect("create results/dot");
+    for id in args.models() {
+        let model = id.build(args.scale, 7).expect("model builds");
+        let dot = to_dot(model.graph(), id.name());
+        let path = out_dir.join(format!(
+            "{}.dot",
+            id.name().to_lowercase().replace('-', "_")
+        ));
+        fs::write(&path, dot).expect("write dot file");
+        println!(
+            "{}: {} nodes -> {}",
+            id.name(),
+            model.graph().len(),
+            path.display()
+        );
+    }
+    println!("\nRender with: dot -Tsvg results/dot/<model>.dot -o <model>.svg");
+}

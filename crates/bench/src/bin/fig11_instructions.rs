@@ -1,0 +1,39 @@
+//! Regenerates Fig 11: retired-instruction counts on Broadwell vs Cascade
+//! Lake (AVX-512/VNNI reduces the dynamic instruction count).
+
+use drec_analysis::Table;
+use drec_bench::BenchArgs;
+use drec_core::Characterizer;
+use drec_hwsim::Platform;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    let batch = 16;
+    let mut table = Table::new(vec![
+        "Model".into(),
+        "Instr (BDW, M)".into(),
+        "Instr (CLX, M)".into(),
+        "CLX / BDW".into(),
+    ]);
+    for id in args.models() {
+        let mut model = id.build(args.scale, 7).expect("model builds");
+        let trace = characterizer.trace(&mut model, batch).expect("trace");
+        let bdw = characterizer
+            .report_from_trace(id.name(), &trace, &Platform::broadwell())
+            .cpu
+            .expect("cpu");
+        let clx = characterizer
+            .report_from_trace(id.name(), &trace, &Platform::cascade_lake())
+            .cpu
+            .expect("cpu");
+        table.row(vec![
+            id.name().to_string(),
+            format!("{:.2}", bdw.retired_instructions / 1e6),
+            format!("{:.2}", clx.retired_instructions / 1e6),
+            format!("{:.2}", clx.retired_instructions / bdw.retired_instructions),
+        ]);
+    }
+    println!("Fig 11: retired instruction count (batch {batch})");
+    println!("{}", table.render());
+}

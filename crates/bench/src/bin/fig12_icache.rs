@@ -1,0 +1,27 @@
+//! Regenerates Fig 12: L1 instruction-cache misses per kilo-instruction.
+
+use drec_analysis::Table;
+use drec_bench::BenchArgs;
+use drec_core::Characterizer;
+use drec_hwsim::Platform;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    let batch = 16;
+    let mut table = Table::new(vec!["Model".into(), "i-MPKI (Broadwell)".into()]);
+    for id in args.models() {
+        let mut model = id.build(args.scale, 7).expect("model builds");
+        let report = characterizer
+            .characterize(&mut model, batch, &Platform::broadwell())
+            .expect("characterization succeeds");
+        let cpu = report.cpu.expect("cpu counters");
+        table.row(vec![
+            id.name().to_string(),
+            format!("{:.1}", cpu.icache_mpki),
+        ]);
+    }
+    println!("Fig 12: L1 i-cache MPKI (batch {batch})");
+    println!("{}", table.render());
+    println!("Paper reference points: DIN ≈ 12.4, DIEN ≈ 7.7; attention models and NCF highest.");
+}

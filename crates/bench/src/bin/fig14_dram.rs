@@ -1,0 +1,34 @@
+//! Regenerates Fig 14: DRAM bandwidth congestion (offcore queue occupancy
+//! above 70%) for the embedding/attention models.
+
+use drec_analysis::Table;
+use drec_bench::{fmt_pct, BenchArgs};
+use drec_core::Characterizer;
+use drec_hwsim::Platform;
+use drec_models::ModelId;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    let batch = 64;
+    let mut table = Table::new(vec![
+        "Model".into(),
+        "DRAM-congested cycles".into(),
+        "DRAM accesses (K lines)".into(),
+    ]);
+    for id in [ModelId::Rm1, ModelId::Rm2, ModelId::Din, ModelId::Dien] {
+        let mut model = id.build(args.scale, 7).expect("model builds");
+        let report = characterizer
+            .characterize(&mut model, batch, &Platform::broadwell())
+            .expect("characterization succeeds");
+        let cpu = report.cpu.expect("cpu counters");
+        table.row(vec![
+            id.name().to_string(),
+            fmt_pct(cpu.dram_congested_frac),
+            format!("{:.1}", cpu.mem_level_hits[3] / 1e3),
+        ]);
+    }
+    println!("Fig 14: DRAM bandwidth congestion (Broadwell, batch {batch})");
+    println!("{}", table.render());
+    println!("Expected: RM2 far above RM1/DIN/DIEN (32 tables × 120 lookups).");
+}

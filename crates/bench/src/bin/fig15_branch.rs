@@ -1,0 +1,44 @@
+//! Regenerates Fig 15: branch mispredicts on Broadwell vs Cascade Lake.
+
+use drec_analysis::Table;
+use drec_bench::BenchArgs;
+use drec_core::Characterizer;
+use drec_hwsim::Platform;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    let batch = 16;
+    let mut table = Table::new(vec![
+        "Model".into(),
+        "Branch MPKI (BDW)".into(),
+        "Branch MPKI (CLX)".into(),
+        "Reduction".into(),
+    ]);
+    for id in args.models() {
+        let mut model = id.build(args.scale, 7).expect("model builds");
+        let trace = characterizer.trace(&mut model, batch).expect("trace");
+        let bdw = characterizer
+            .report_from_trace(id.name(), &trace, &Platform::broadwell())
+            .cpu
+            .expect("cpu");
+        let clx = characterizer
+            .report_from_trace(id.name(), &trace, &Platform::cascade_lake())
+            .cpu
+            .expect("cpu");
+        let reduction = if bdw.branch_mpki > 0.0 {
+            1.0 - clx.branch_mpki / bdw.branch_mpki
+        } else {
+            0.0
+        };
+        table.row(vec![
+            id.name().to_string(),
+            format!("{:.2}", bdw.branch_mpki),
+            format!("{:.2}", clx.branch_mpki),
+            format!("{:.0}%", reduction * 100.0),
+        ]);
+    }
+    println!("Fig 15: branch mispredicts per kilo-instruction (batch {batch})");
+    println!("{}", table.render());
+    println!("Expected: significant decrease from Broadwell to Cascade Lake.");
+}

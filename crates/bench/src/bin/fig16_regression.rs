@@ -1,0 +1,46 @@
+//! Regenerates Fig 16: linear-regression weights tying algorithmic model
+//! architecture features to CPU pipeline bottlenecks.
+
+use drec_analysis::Table;
+use drec_bench::BenchArgs;
+use drec_core::fig16;
+use drec_hwsim::Platform;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let batches = args.batch_grid();
+    let result = fig16::run(
+        &args.models(),
+        &batches,
+        &Platform::broadwell(),
+        args.scale,
+        args.options(),
+    )
+    .expect("regression succeeds");
+
+    let mut table = Table::new(
+        std::iter::once("Feature".to_string())
+            .chain(result.fits.iter().map(|(t, _)| t.clone()))
+            .collect(),
+    );
+    for (f_idx, feature) in result.feature_names.iter().enumerate() {
+        let mut row = vec![feature.clone()];
+        for (_, fit) in &result.fits {
+            row.push(format!("{:+.3}", fit.weights[f_idx]));
+        }
+        table.row(row);
+    }
+    println!(
+        "Fig 16: normalized OLS weights over {} (model, batch) points",
+        result.samples
+    );
+    println!("{}", table.render());
+    let mut r2 = Table::new(vec!["Target".into(), "R²".into()]);
+    for (target, fit) in &result.fits {
+        r2.row(vec![target.clone(), format!("{:.3}", fit.r2)]);
+    }
+    println!("{}", r2.render());
+    println!("Expected: no single dominant feature per bottleneck; higher");
+    println!("FC:Emb ratio correlates with less bad speculation, while a");
+    println!("top-heavy FC distribution correlates with more.");
+}

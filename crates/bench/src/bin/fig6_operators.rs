@@ -1,0 +1,46 @@
+//! Regenerates Fig 6: Caffe2 operator-time breakdowns per model, batch
+//! size, and platform. Each (model, batch) point is traced once and
+//! evaluated on all four platforms.
+
+use drec_analysis::Table;
+use drec_bench::{fmt_pct, BenchArgs};
+use drec_core::Characterizer;
+use drec_hwsim::Platform;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    let batches = args.fig6_batches();
+    let platforms = Platform::all();
+
+    for id in args.models() {
+        let mut model = id.build(args.scale, 7).expect("model builds");
+        let mut table = Table::new(vec![
+            "Batch".into(),
+            "Platform".into(),
+            "Top operators by share of modelled time".into(),
+        ]);
+        for &batch in &batches {
+            let trace = characterizer
+                .trace(&mut model, batch)
+                .expect("trace succeeds");
+            for platform in &platforms {
+                let report = characterizer.report_from_trace(id.name(), &trace, platform);
+                let top: Vec<String> = report
+                    .breakdown
+                    .shares()
+                    .into_iter()
+                    .take(3)
+                    .map(|(name, share)| format!("{name} {}", fmt_pct(share)))
+                    .collect();
+                table.row(vec![
+                    batch.to_string(),
+                    platform.name().to_string(),
+                    top.join(", "),
+                ]);
+            }
+        }
+        println!("\n== Fig 6 — {id} ==");
+        println!("{}", table.render());
+    }
+}

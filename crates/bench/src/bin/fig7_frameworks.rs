@@ -1,0 +1,39 @@
+//! Regenerates Fig 7: Caffe2 vs TensorFlow operator breakdowns for the
+//! DLRM-based models (RM1, RM2, RM3).
+
+use drec_analysis::Table;
+use drec_bench::{fmt_pct, BenchArgs};
+use drec_core::Characterizer;
+use drec_graph::Framework;
+use drec_hwsim::Platform;
+use drec_models::ModelId;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    let batch = 64;
+
+    for id in [ModelId::Rm1, ModelId::Rm2, ModelId::Rm3] {
+        let mut model = id.build(args.scale, 7).expect("model builds");
+        let report = characterizer
+            .characterize(&mut model, batch, &Platform::broadwell())
+            .expect("characterization succeeds");
+        let mut table = Table::new(vec!["Framework".into(), "Operator shares (top 5)".into()]);
+        for (fw, name) in [
+            (Framework::Caffe2, "Caffe2"),
+            (Framework::TensorFlow, "TensorFlow"),
+        ] {
+            let breakdown = report.breakdown_in(fw);
+            let top: Vec<String> = breakdown
+                .shares()
+                .into_iter()
+                .take(5)
+                .map(|(op, share)| format!("{op} {}", fmt_pct(share)))
+                .collect();
+            table.row(vec![name.to_string(), top.join(", ")]);
+        }
+        println!("\nFig 7 — {id} (Broadwell, batch {batch}):");
+        println!("{}", table.render());
+    }
+    println!("FC ↔ FusedMatMul; SparseLengthsSum ↔ ResourceGather + Sum.");
+}

@@ -1,0 +1,41 @@
+//! Regenerates Fig 8: TopDown pipeline-slot breakdowns at batch 16 on
+//! Broadwell and Cascade Lake.
+
+use drec_analysis::Table;
+use drec_bench::{fmt_pct, BenchArgs};
+use drec_core::Characterizer;
+use drec_hwsim::Platform;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    let batch = 16;
+
+    for platform in [Platform::broadwell(), Platform::cascade_lake()] {
+        let mut table = Table::new(vec![
+            "Model".into(),
+            "Retiring".into(),
+            "Frontend".into(),
+            "Bad spec".into(),
+            "Core bound".into(),
+            "Memory bound".into(),
+        ]);
+        for id in args.models() {
+            let mut model = id.build(args.scale, 7).expect("model builds");
+            let report = characterizer
+                .characterize(&mut model, batch, &platform)
+                .expect("characterization succeeds");
+            let td = report.cpu.expect("cpu counters").topdown;
+            table.row(vec![
+                id.name().to_string(),
+                fmt_pct(td.retiring),
+                fmt_pct(td.frontend),
+                fmt_pct(td.bad_speculation),
+                fmt_pct(td.backend_core),
+                fmt_pct(td.backend_memory),
+            ]);
+        }
+        println!("\nFig 8 ({}, batch {batch}):", platform.name());
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig 9: AVX share of retired instructions on Broadwell vs
+//! Cascade Lake, alongside execution time.
+
+use drec_analysis::{fmt_seconds, Table};
+use drec_bench::{fmt_pct, BenchArgs};
+use drec_core::Characterizer;
+use drec_hwsim::Platform;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    let batch = 16;
+    let mut table = Table::new(vec![
+        "Model".into(),
+        "AVX frac (BDW)".into(),
+        "Time (BDW)".into(),
+        "AVX frac (CLX)".into(),
+        "Time (CLX)".into(),
+    ]);
+    for id in args.models() {
+        let mut model = id.build(args.scale, 7).expect("model builds");
+        let trace = characterizer.trace(&mut model, batch).expect("trace");
+        let bdw = characterizer.report_from_trace(id.name(), &trace, &Platform::broadwell());
+        let clx = characterizer.report_from_trace(id.name(), &trace, &Platform::cascade_lake());
+        let b = bdw.cpu.expect("cpu");
+        let c = clx.cpu.expect("cpu");
+        table.row(vec![
+            id.name().to_string(),
+            fmt_pct(b.avx_fraction()),
+            fmt_seconds(b.seconds),
+            fmt_pct(c.avx_fraction()),
+            fmt_seconds(c.seconds),
+        ]);
+    }
+    println!("Fig 9: instruction vectorization (batch {batch})");
+    println!("{}", table.render());
+    println!("Expected: >60% AVX for RM3/WnD/MT-WnD on Broadwell; Cascade Lake");
+    println!("runs faster with a reduced AVX instruction footprint (wider SIMD).");
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table I: the eight-model summary.
+
+use drec_analysis::Table;
+use drec_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut table = Table::new(vec![
+        "Model".into(),
+        "Domain (Evaluation)".into(),
+        "Tables".into(),
+        "Lookups/table".into(),
+        "Dim".into(),
+        "FC params (MB)".into(),
+        "Emb params (MB, virtual)".into(),
+        "Insight".into(),
+    ]);
+    for id in args.models() {
+        let model = id.build(args.scale, 7).expect("model builds");
+        let m = model.meta();
+        table.row(vec![
+            m.name.to_string(),
+            format!("{} ({})", m.domain, m.dataset),
+            m.num_tables.to_string(),
+            format!("{:.0}", m.lookups_per_table),
+            m.latent_dim.to_string(),
+            format!("{:.1}", m.fc_param_bytes as f64 / 1e6),
+            format!("{:.0}", m.emb_param_bytes as f64 / 1e6),
+            m.insight.to_string(),
+        ]);
+    }
+    println!("Table I: industry-representative deep recommendation models");
+    println!("{}", table.render());
+}

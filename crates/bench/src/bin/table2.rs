@@ -1,0 +1,44 @@
+//! Regenerates Table II: the hardware platform summary.
+
+use drec_analysis::Table;
+use drec_hwsim::Platform;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "Platform".into(),
+        "Kind".into(),
+        "Frequency".into(),
+        "SIMD / SMs".into(),
+        "L2".into(),
+        "L3".into(),
+        "DRAM BW".into(),
+    ]);
+    for platform in Platform::all() {
+        match &platform {
+            Platform::Cpu(m) => table.row(vec![
+                m.name.to_string(),
+                "CPU".into(),
+                format!("{:.1} GHz", m.freq_hz / 1e9),
+                if m.simd_lanes >= 16.0 {
+                    "AVX-512".into()
+                } else {
+                    "AVX-2".into()
+                },
+                format!("{} KB", m.hierarchy.l2.bytes / 1024),
+                format!("{} MB", m.hierarchy.l3.bytes / (1024 * 1024)),
+                format!("{:.0} GB/s", m.dram.bandwidth_bytes_per_sec / 1e9),
+            ]),
+            Platform::Gpu(g) => table.row(vec![
+                g.name.to_string(),
+                "GPU".into(),
+                format!("{:.1} TFLOPS", g.peak_flops / 1e12),
+                format!("{} SMs", g.sm_count),
+                "-".into(),
+                "-".into(),
+                format!("{:.0} GB/s", g.mem_bw / 1e9),
+            ]),
+        }
+    }
+    println!("Table II: hardware platforms studied");
+    println!("{}", table.render());
+}

@@ -1,0 +1,42 @@
+//! Energy extension table: inferences per joule per platform (Table II
+//! lists TDP; the T4's 70 W is its raison d'être).
+
+use drec_analysis::Table;
+use drec_bench::BenchArgs;
+use drec_core::Characterizer;
+use drec_hwsim::{energy, Platform};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let characterizer = Characterizer::new(args.options());
+    let batch = 1024;
+    let mut table = Table::new(
+        std::iter::once("Model".to_string())
+            .chain(
+                Platform::all()
+                    .iter()
+                    .map(|p| format!("{} (inf/J)", p.name())),
+            )
+            .collect(),
+    );
+    for id in args.models() {
+        let mut model = id.build(args.scale, 7).expect("build");
+        let trace = characterizer.trace(&mut model, batch).expect("trace");
+        let mut row = vec![id.name().to_string()];
+        for platform in Platform::all() {
+            let report = platform.evaluate(&trace);
+            let platform_report = drec_hwsim::PlatformReport {
+                platform: report.platform.clone(),
+                seconds: report.seconds,
+                cpu: None,
+                gpu: None,
+            };
+            let e = energy(&platform, &platform_report, batch);
+            row.push(format!("{:.0}", e.inferences_per_joule));
+        }
+        table.row(row);
+    }
+    println!("Energy efficiency at batch {batch} (inferences per joule, TDP-based)");
+    println!("{}", table.render());
+    println!("The 70 W T4 dominates efficiency wherever its speedup holds up.");
+}

@@ -1,0 +1,116 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary regenerates one table or figure from the paper; run them
+//! with `cargo run --release -p drec-bench --bin <name>`. All binaries
+//! accept:
+//!
+//! * `--tiny` — use the miniature model scale (smoke-test the harness),
+//! * `--quick` — a reduced batch grid for faster turnaround.
+
+use drec_core::{CharacterizeOptions, PAPER_BATCH_GRID};
+use drec_models::{ModelId, ModelScale};
+
+/// Parsed command-line options shared by all binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Model scale to build.
+    pub scale: ModelScale,
+    /// Use a reduced batch grid.
+    pub quick: bool,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs {
+            scale: ModelScale::Paper,
+            quick: false,
+        };
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--tiny" => args.scale = ModelScale::Tiny,
+                "--quick" => args.quick = true,
+                other => {
+                    eprintln!("warning: unknown argument '{other}' (supported: --tiny --quick)");
+                }
+            }
+        }
+        args
+    }
+
+    /// The batch grid to sweep (Fig 3/4/5 x-axis).
+    pub fn batch_grid(&self) -> Vec<usize> {
+        if self.quick {
+            vec![1, 16, 256, 4096]
+        } else {
+            PAPER_BATCH_GRID.to_vec()
+        }
+    }
+
+    /// The batch sizes Fig 6 plots.
+    pub fn fig6_batches(&self) -> Vec<usize> {
+        if self.quick {
+            vec![4, 1024]
+        } else {
+            vec![4, 64, 1024, 16384]
+        }
+    }
+
+    /// Characterization fidelity to use.
+    pub fn options(&self) -> CharacterizeOptions {
+        match self.scale {
+            ModelScale::Tiny => CharacterizeOptions::fast(),
+            ModelScale::Paper => CharacterizeOptions::paper(),
+        }
+    }
+
+    /// All eight models.
+    pub fn models(&self) -> Vec<ModelId> {
+        ModelId::ALL.to_vec()
+    }
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: ModelScale::Paper,
+            quick: false,
+        }
+    }
+}
+
+/// Formats a speedup for grid cells.
+pub fn fmt_speedup(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}x")
+    } else if s >= 10.0 {
+        format!("{s:.1}x")
+    } else {
+        format!("{s:.2}x")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_matches_paper() {
+        let args = BenchArgs::default();
+        assert_eq!(args.batch_grid(), PAPER_BATCH_GRID.to_vec());
+        assert_eq!(args.models().len(), 8);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_speedup(123.4), "123x");
+        assert_eq!(fmt_speedup(12.34), "12.3x");
+        assert_eq!(fmt_speedup(1.234), "1.23x");
+        assert_eq!(fmt_pct(0.1234), "12.3%");
+    }
+}

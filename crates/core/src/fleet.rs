@@ -1,0 +1,224 @@
+//! Heterogeneous fleet scheduling — the DeepRecSys-style follow-on to the
+//! paper's heterogeneity observation.
+//!
+//! The paper shows the optimal platform depends on batch size (Fig 5);
+//! DeepRecSys (the source of the model suite) exploits that by scheduling
+//! queries across CPUs *and* GPUs. This module simulates such a fleet: a
+//! set of engines, each with its own latency-vs-batch curve and batching
+//! cap, served from one Poisson arrival queue under a configurable
+//! dispatch policy.
+
+use crate::serving::LatencyCurve;
+
+/// One inference engine in the fleet.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    /// Display name (e.g. `"Cascade Lake #0"`).
+    pub name: String,
+    /// Modelled latency as a function of batch size.
+    pub curve: LatencyCurve,
+    /// Largest batch this engine will coalesce.
+    pub max_batch: usize,
+}
+
+/// How the dispatcher assigns waiting queries to free engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Rotate through engines regardless of their speed.
+    RoundRobin,
+    /// Give the work to whichever free engine finishes it soonest
+    /// (DeepRecSys-flavoured latency-aware dispatch).
+    FastestCompletion,
+}
+
+/// Configuration of a fleet simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSimConfig {
+    /// Poisson arrival rate in queries per second.
+    pub arrival_qps: f64,
+    /// Number of queries to simulate.
+    pub queries: usize,
+    /// RNG seed for the arrival process.
+    pub seed: u64,
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+}
+
+/// Results of a fleet simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Mean query latency, seconds.
+    pub mean_latency: f64,
+    /// 99th-percentile query latency, seconds.
+    pub p99: f64,
+    /// Sustained throughput, queries/second.
+    pub throughput_qps: f64,
+    /// Queries served per engine, aligned with the engine list.
+    pub per_engine_queries: Vec<usize>,
+}
+
+/// Simulates the fleet.
+///
+/// Event loop: queries arrive (Poisson); whenever an engine is free and
+/// queries wait, the dispatcher picks an engine per the policy and hands
+/// it everything queued up to the engine's `max_batch`.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty or `arrival_qps <= 0`.
+pub fn simulate_fleet(engines: &[Engine], cfg: FleetSimConfig) -> FleetStats {
+    assert!(!engines.is_empty(), "fleet needs at least one engine");
+    assert!(cfg.arrival_qps > 0.0, "arrival rate must be positive");
+    let n = cfg.queries.max(1);
+
+    let mut state = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next_u = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        ((state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64)
+            .clamp(1e-12, 1.0 - 1e-12)
+    };
+    let mut arrivals = Vec::with_capacity(n);
+    let mut t = 0.0;
+    for _ in 0..n {
+        t += -next_u().ln() / cfg.arrival_qps;
+        arrivals.push(t);
+    }
+
+    let mut free_at = vec![0.0f64; engines.len()];
+    let mut served = vec![0usize; engines.len()];
+    let mut latencies = Vec::with_capacity(n);
+    let mut next_query = 0usize;
+    let mut rr_cursor = 0usize;
+
+    while next_query < n {
+        // Earliest moment any engine could start on the head query.
+        let head_arrival = arrivals[next_query];
+        let engine_idx = match cfg.policy {
+            DispatchPolicy::RoundRobin => {
+                let idx = rr_cursor % engines.len();
+                rr_cursor += 1;
+                idx
+            }
+            DispatchPolicy::FastestCompletion => {
+                // Tentatively size the batch against each engine's start
+                // time and pick the earliest completion.
+                (0..engines.len())
+                    .min_by(|&a, &b| {
+                        let fa = completion_time(&engines[a], free_at[a], &arrivals, next_query);
+                        let fb = completion_time(&engines[b], free_at[b], &arrivals, next_query);
+                        fa.partial_cmp(&fb).expect("finite times")
+                    })
+                    .expect("non-empty fleet")
+            }
+        };
+        let engine = &engines[engine_idx];
+        let start = free_at[engine_idx].max(head_arrival);
+        let mut end = next_query;
+        while end < n && end - next_query < engine.max_batch && arrivals[end] <= start {
+            end += 1;
+        }
+        let batch = (end - next_query).max(1);
+        let done = start + engine.curve.eval(batch);
+        for arrival in &arrivals[next_query..next_query + batch] {
+            latencies.push(done - arrival);
+        }
+        free_at[engine_idx] = done;
+        served[engine_idx] += batch;
+        next_query += batch;
+    }
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99 = latencies[(((latencies.len() - 1) as f64) * 0.99) as usize];
+    let total_time = free_at.iter().cloned().fold(arrivals[n - 1], f64::max);
+    FleetStats {
+        mean_latency: latencies.iter().sum::<f64>() / latencies.len() as f64,
+        p99,
+        throughput_qps: n as f64 / total_time,
+        per_engine_queries: served,
+    }
+}
+
+fn completion_time(engine: &Engine, free_at: f64, arrivals: &[f64], next: usize) -> f64 {
+    let start = free_at.max(arrivals[next]);
+    let mut end = next;
+    while end < arrivals.len() && end - next < engine.max_batch && arrivals[end] <= start {
+        end += 1;
+    }
+    start + engine.curve.eval((end - next).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_engine(name: &str, secs: f64, max_batch: usize) -> Engine {
+        Engine {
+            name: name.to_string(),
+            curve: LatencyCurve::from_points(vec![(1, secs), (max_batch.max(2), secs)]),
+            max_batch,
+        }
+    }
+
+    fn cfg(qps: f64, policy: DispatchPolicy) -> FleetSimConfig {
+        FleetSimConfig {
+            arrival_qps: qps,
+            queries: 10_000,
+            seed: 5,
+            policy,
+        }
+    }
+
+    #[test]
+    fn two_engines_double_single_engine_throughput_under_saturation() {
+        let one = simulate_fleet(
+            &[flat_engine("a", 1e-3, 1)],
+            cfg(5_000.0, DispatchPolicy::RoundRobin),
+        );
+        let two = simulate_fleet(
+            &[flat_engine("a", 1e-3, 1), flat_engine("b", 1e-3, 1)],
+            cfg(5_000.0, DispatchPolicy::RoundRobin),
+        );
+        assert!(two.throughput_qps > one.throughput_qps * 1.7);
+    }
+
+    #[test]
+    fn fastest_completion_prefers_the_fast_engine() {
+        let engines = [flat_engine("fast", 1e-4, 8), flat_engine("slow", 1e-2, 8)];
+        let stats = simulate_fleet(&engines, cfg(2_000.0, DispatchPolicy::FastestCompletion));
+        assert!(
+            stats.per_engine_queries[0] > stats.per_engine_queries[1] * 3,
+            "{:?}",
+            stats.per_engine_queries
+        );
+    }
+
+    #[test]
+    fn round_robin_splits_evenly_at_light_load() {
+        let engines = [flat_engine("a", 1e-4, 4), flat_engine("b", 1e-4, 4)];
+        let stats = simulate_fleet(&engines, cfg(100.0, DispatchPolicy::RoundRobin));
+        let (a, b) = (
+            stats.per_engine_queries[0] as f64,
+            stats.per_engine_queries[1] as f64,
+        );
+        assert!((a / b - 1.0).abs() < 0.1, "{a} vs {b}");
+    }
+
+    #[test]
+    fn latency_aware_dispatch_beats_round_robin_on_heterogeneous_fleets() {
+        let engines = [
+            flat_engine("cpu", 5e-4, 2),
+            flat_engine("gpu-ish", 5e-3, 64),
+        ];
+        let rr = simulate_fleet(&engines, cfg(1_500.0, DispatchPolicy::RoundRobin));
+        let smart = simulate_fleet(&engines, cfg(1_500.0, DispatchPolicy::FastestCompletion));
+        assert!(smart.p99 <= rr.p99, "smart {} vs rr {}", smart.p99, rr.p99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine")]
+    fn empty_fleet_panics() {
+        let _ = simulate_fleet(&[], cfg(1.0, DispatchPolicy::RoundRobin));
+    }
+}

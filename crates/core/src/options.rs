@@ -1,0 +1,49 @@
+/// Fidelity/speed knobs for a characterization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CharacterizeOptions {
+    /// Memory events retained per operator (systematic sampling above).
+    pub trace_events_per_op: usize,
+    /// Cache set-sampling ratio applied to CPU data hierarchies.
+    pub cache_set_sampling: u64,
+    /// Seed for the query generator.
+    pub seed: u64,
+}
+
+impl CharacterizeOptions {
+    /// Full-fidelity settings used by the figure-regeneration benches.
+    pub fn paper() -> Self {
+        CharacterizeOptions {
+            trace_events_per_op: 1 << 18,
+            cache_set_sampling: 1,
+            seed: 0xD5EC,
+        }
+    }
+
+    /// Aggressively sampled settings for unit tests and quick looks.
+    pub fn fast() -> Self {
+        CharacterizeOptions {
+            trace_events_per_op: 1 << 12,
+            cache_set_sampling: 8,
+            seed: 0xD5EC,
+        }
+    }
+}
+
+impl Default for CharacterizeOptions {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_is_cheaper_than_paper() {
+        let fast = CharacterizeOptions::fast();
+        let paper = CharacterizeOptions::paper();
+        assert!(fast.trace_events_per_op < paper.trace_events_per_op);
+        assert!(fast.cache_set_sampling > paper.cache_set_sampling);
+    }
+}

@@ -1,0 +1,104 @@
+use std::collections::HashMap;
+
+/// Per-operator-type time shares — the unit of comparison in the paper's
+/// Fig 6/7 operator breakdowns.
+///
+/// Built from `(operator type, seconds)` pairs; stores both absolute
+/// seconds and normalised fractions, sorted descending.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Breakdown {
+    entries: Vec<(String, f64)>,
+    total: f64,
+}
+
+impl Breakdown {
+    /// Aggregates `(op type, seconds)` pairs into a sorted breakdown.
+    pub fn from_entries<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (String, f64)>,
+    {
+        let mut by_type: HashMap<String, f64> = HashMap::new();
+        for (name, secs) in entries {
+            *by_type.entry(name).or_insert(0.0) += secs;
+        }
+        let mut entries: Vec<(String, f64)> = by_type.into_iter().collect();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let total = entries.iter().map(|e| e.1).sum();
+        Breakdown { entries, total }
+    }
+
+    /// `(op type, seconds)` entries, largest first.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Total seconds across all operator types.
+    pub fn total_seconds(&self) -> f64 {
+        self.total
+    }
+
+    /// Fraction of total time spent in `op_type` (0.0 if absent).
+    pub fn share(&self, op_type: &str) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        self.entries
+            .iter()
+            .find(|(n, _)| n == op_type)
+            .map(|(_, s)| s / self.total)
+            .unwrap_or(0.0)
+    }
+
+    /// The operator type with the largest share, if any.
+    pub fn dominant(&self) -> Option<&str> {
+        self.entries.first().map(|(n, _)| n.as_str())
+    }
+
+    /// `(op type, fraction)` pairs, largest first.
+    pub fn shares(&self) -> Vec<(String, f64)> {
+        if self.total <= 0.0 {
+            return Vec::new();
+        }
+        self.entries
+            .iter()
+            .map(|(n, s)| (n.clone(), s / self.total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_sorts() {
+        let b = Breakdown::from_entries(vec![
+            ("FC".to_string(), 3.0),
+            ("Relu".to_string(), 1.0),
+            ("FC".to_string(), 2.0),
+        ]);
+        assert_eq!(b.dominant(), Some("FC"));
+        assert!((b.total_seconds() - 6.0).abs() < 1e-12);
+        assert!((b.share("FC") - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(b.share("Missing"), 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = Breakdown::from_entries(Vec::<(String, f64)>::new());
+        assert_eq!(b.dominant(), None);
+        assert_eq!(b.share("FC"), 0.0);
+        assert!(b.shares().is_empty());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let b = Breakdown::from_entries(vec![
+            ("A".to_string(), 1.0),
+            ("B".to_string(), 2.0),
+            ("C".to_string(), 7.0),
+        ]);
+        let sum: f64 = b.shares().iter().map(|s| s.1).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+use std::sync::Arc;
+
+use drec_ops::{
+    Activation, ActivationKind, Concat, EmbeddingTable, ExecContext, FullyConnected, Operator,
+    SparseLengthsSum,
+};
+use drec_tensor::ParamInit;
+
+use crate::{Graph, GraphError, Node, Result, ValueId};
+
+/// Incremental [`Graph`] constructor.
+///
+/// The add-order defines execution order; adding a node that consumes a
+/// value which does not exist yet is rejected, so every finished graph is
+/// topologically valid by construction.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    input_names: Vec<String>,
+    input_ids: Vec<ValueId>,
+    outputs: Vec<ValueId>,
+    n_values: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an external input and returns its value id.
+    pub fn input(&mut self, name: impl Into<String>) -> ValueId {
+        let id = ValueId(self.n_values);
+        self.n_values += 1;
+        self.input_names.push(name.into());
+        self.input_ids.push(id);
+        id
+    }
+
+    /// Adds an operator node consuming `inputs`; returns its output value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownValue`] if any input id was not
+    /// produced by an earlier node or input declaration.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        op: Box<dyn Operator>,
+        inputs: &[ValueId],
+    ) -> Result<ValueId> {
+        for v in inputs {
+            if v.0 >= self.n_values {
+                return Err(GraphError::UnknownValue { id: v.0 });
+            }
+        }
+        let output = ValueId(self.n_values);
+        self.n_values += 1;
+        self.nodes.push(Node {
+            name: name.into(),
+            op,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(output)
+    }
+
+    /// Marks a value as a graph output.
+    pub fn mark_output(&mut self, v: ValueId) {
+        self.outputs.push(v);
+    }
+
+    /// Finalises the graph.
+    pub fn finish(self) -> Graph {
+        Graph {
+            nodes: self.nodes,
+            input_names: self.input_names,
+            input_ids: self.input_ids,
+            outputs: self.outputs,
+            n_values: self.n_values,
+        }
+    }
+
+    // ---- convenience constructors for common layers ----
+
+    /// Adds a fully-connected layer `in_features → out_features`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownValue`] for invalid `input`.
+    pub fn fc(
+        &mut self,
+        ctx: &mut ExecContext,
+        init: &mut ParamInit,
+        name: &str,
+        input: ValueId,
+        in_features: usize,
+        out_features: usize,
+    ) -> Result<ValueId> {
+        let op = FullyConnected::new(in_features, out_features, ctx, init);
+        self.add(name, Box::new(op), &[input])
+    }
+
+    /// Adds a ReLU node.
+    pub fn relu(&mut self, ctx: &mut ExecContext, name: &str, input: ValueId) -> ValueId {
+        let op = Activation::new(ActivationKind::Relu, ctx);
+        self.add(name, Box::new(op), &[input])
+            .expect("relu input was produced by caller")
+    }
+
+    /// Adds a sigmoid node.
+    pub fn sigmoid(&mut self, ctx: &mut ExecContext, name: &str, input: ValueId) -> ValueId {
+        let op = Activation::new(ActivationKind::Sigmoid, ctx);
+        self.add(name, Box::new(op), &[input])
+            .expect("sigmoid input was produced by caller")
+    }
+
+    /// Adds an `FC → ReLU` stack with the given hidden widths; the last
+    /// layer is linear (no activation) when `final_linear` is true.
+    ///
+    /// Returns the output value and its feature width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownValue`] for invalid `input`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mlp(
+        &mut self,
+        ctx: &mut ExecContext,
+        init: &mut ParamInit,
+        name_prefix: &str,
+        input: ValueId,
+        in_features: usize,
+        widths: &[usize],
+        final_linear: bool,
+    ) -> Result<(ValueId, usize)> {
+        let mut v = input;
+        let mut width = in_features;
+        for (i, &w) in widths.iter().enumerate() {
+            v = self.fc(ctx, init, &format!("{name_prefix}_fc{i}"), v, width, w)?;
+            let is_last = i + 1 == widths.len();
+            if !(is_last && final_linear) {
+                v = self.relu(ctx, &format!("{name_prefix}_relu{i}"), v);
+            }
+            width = w;
+        }
+        Ok((v, width))
+    }
+
+    /// Adds a concat node over `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownValue`] for invalid inputs.
+    pub fn concat(
+        &mut self,
+        ctx: &mut ExecContext,
+        name: &str,
+        inputs: &[ValueId],
+    ) -> Result<ValueId> {
+        let op = Concat::new(ctx);
+        self.add(name, Box::new(op), inputs)
+    }
+
+    /// Adds a pooled embedding lookup over `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownValue`] for invalid `ids`.
+    pub fn sparse_lengths_sum(
+        &mut self,
+        ctx: &mut ExecContext,
+        name: &str,
+        table: Arc<EmbeddingTable>,
+        ids: ValueId,
+    ) -> Result<ValueId> {
+        let op = SparseLengthsSum::new(table, ctx);
+        self.add(name, Box::new(op), &[ids])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_future_values() {
+        let mut ctx = ExecContext::new();
+        let mut b = GraphBuilder::new();
+        let bogus = ValueId(5);
+        let op = Activation::new(ActivationKind::Relu, &mut ctx);
+        assert!(matches!(
+            b.add("r", Box::new(op), &[bogus]),
+            Err(GraphError::UnknownValue { id: 5 })
+        ));
+    }
+
+    #[test]
+    fn mlp_builds_alternating_stack() {
+        let mut ctx = ExecContext::new();
+        let mut init = ParamInit::new(1);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let (_, width) = b
+            .mlp(&mut ctx, &mut init, "bot", x, 16, &[32, 8], false)
+            .unwrap();
+        assert_eq!(width, 8);
+        let g = b.finish();
+        // fc, relu, fc, relu.
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.count_kind(drec_ops::OpKind::Fc), 2);
+        assert_eq!(g.count_kind(drec_ops::OpKind::Relu), 2);
+    }
+
+    #[test]
+    fn mlp_final_linear_skips_last_relu() {
+        let mut ctx = ExecContext::new();
+        let mut init = ParamInit::new(1);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        b.mlp(&mut ctx, &mut init, "top", x, 16, &[8, 1], true)
+            .unwrap();
+        let g = b.finish();
+        assert_eq!(g.count_kind(drec_ops::OpKind::Fc), 2);
+        assert_eq!(g.count_kind(drec_ops::OpKind::Relu), 1);
+    }
+
+    #[test]
+    fn input_names_recorded_in_order() {
+        let mut b = GraphBuilder::new();
+        b.input("dense");
+        b.input("ids");
+        let g = b.finish();
+        assert_eq!(g.input_names(), &["dense".to_string(), "ids".to_string()]);
+    }
+}

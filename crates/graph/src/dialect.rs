@@ -1,0 +1,82 @@
+//! Framework dialects: mapping the (canonical) Caffe2 operator names onto
+//! TensorFlow's, reproducing the paper's Fig 7 exercise.
+//!
+//! The paper observes that operator breakdowns are similar across
+//! frameworks once names are mapped: `FC` ↔ `FusedMatMul`, and
+//! `SparseLengthsSum` ↔ the *pair* `ResourceGather` (lookup) + `Sum`
+//! (pool). The latter is a one-to-many mapping, so a dialect entry carries
+//! a time fraction.
+
+/// The deep-learning framework whose operator naming to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// Caffe2 naming (the canonical names the operators carry).
+    Caffe2,
+    /// TensorFlow naming.
+    TensorFlow,
+}
+
+/// Fraction of a `SparseLengthsSum` op's time attributed to the gather
+/// (`ResourceGather`) half under the TensorFlow dialect; the remainder is
+/// the pooling `Sum`. Gathers dominate because they miss caches while the
+/// pool is a register-resident accumulation.
+const TF_GATHER_TIME_FRACTION: f64 = 0.7;
+
+/// Translates one operator type into `(operator name, time fraction)`
+/// entries under the given framework dialect. Fractions over one op sum
+/// to 1.
+pub fn dialect_entries(op_type: &str, framework: Framework) -> Vec<(String, f64)> {
+    match framework {
+        Framework::Caffe2 => vec![(op_type.to_string(), 1.0)],
+        Framework::TensorFlow => match op_type {
+            "FC" => vec![("FusedMatMul".to_string(), 1.0)],
+            "SparseLengthsSum" => vec![
+                ("ResourceGather".to_string(), TF_GATHER_TIME_FRACTION),
+                ("Sum".to_string(), 1.0 - TF_GATHER_TIME_FRACTION),
+            ],
+            "SparseLengthsMean" => vec![
+                ("ResourceGather".to_string(), TF_GATHER_TIME_FRACTION),
+                ("Mean".to_string(), 1.0 - TF_GATHER_TIME_FRACTION),
+            ],
+            "Gather" => vec![("ResourceGather".to_string(), 1.0)],
+            "Concat" => vec![("ConcatV2".to_string(), 1.0)],
+            "Sum" => vec![("AddN".to_string(), 1.0)],
+            "RecurrentNetwork" => vec![("While/GRUCell".to_string(), 1.0)],
+            // Relu, Sigmoid, Tanh, Mul, Softmax, BatchMatMul share names.
+            other => vec![(other.to_string(), 1.0)],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caffe2_is_identity() {
+        let e = dialect_entries("SparseLengthsSum", Framework::Caffe2);
+        assert_eq!(e, vec![("SparseLengthsSum".to_string(), 1.0)]);
+    }
+
+    #[test]
+    fn tf_splits_sls() {
+        let e = dialect_entries("SparseLengthsSum", Framework::TensorFlow);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].0, "ResourceGather");
+        assert_eq!(e[1].0, "Sum");
+        let total: f64 = e.iter().map(|x| x.1).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tf_renames_fc() {
+        let e = dialect_entries("FC", Framework::TensorFlow);
+        assert_eq!(e, vec![("FusedMatMul".to_string(), 1.0)]);
+    }
+
+    #[test]
+    fn tf_passes_through_shared_names() {
+        let e = dialect_entries("Softmax", Framework::TensorFlow);
+        assert_eq!(e, vec![("Softmax".to_string(), 1.0)]);
+    }
+}

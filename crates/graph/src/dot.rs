@@ -1,0 +1,99 @@
+//! Graphviz DOT export for operator graphs.
+//!
+//! Handy for documentation and for eyeballing the structural difference
+//! between, say, DIN's hundreds of local activation units and DIEN's two
+//! GRU nodes:
+//!
+//! ```text
+//! cargo run --release --example quickstart  # build a model, then
+//! dot -Tsvg din.dot -o din.svg
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::Graph;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Inputs are drawn as boxes, operators as ellipses labelled
+/// `name (op type)`; edges follow value flow.
+pub fn to_dot(graph: &Graph, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\", fontsize=10];");
+
+    // Input nodes.
+    for (idx, name) in graph.input_names().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  v{} [shape=box, style=filled, fillcolor=lightgrey, label=\"{}\"];",
+            graph.input_ids()[idx].index(),
+            escape(name)
+        );
+    }
+    // Operator nodes and edges.
+    for node in graph.nodes() {
+        let _ = writeln!(
+            out,
+            "  v{} [shape=ellipse, label=\"{}\\n({})\"];",
+            node.output().index(),
+            escape(node.name()),
+            node.op().kind().caffe2_name()
+        );
+        for input in node.inputs() {
+            let _ = writeln!(out, "  v{} -> v{};", input.index(), node.output().index());
+        }
+    }
+    // Mark outputs.
+    for output in graph.outputs() {
+        let _ = writeln!(
+            out,
+            "  out{0} [shape=doublecircle, label=\"out\"]; v{0} -> out{0};",
+            output.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use drec_ops::ExecContext;
+    use drec_tensor::ParamInit;
+
+    fn sample_graph(ctx: &mut ExecContext) -> Graph {
+        let mut init = ParamInit::new(1);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let h = b.fc(ctx, &mut init, "fc1", x, 4, 2).unwrap();
+        let y = b.sigmoid(ctx, "prob", h);
+        b.mark_output(y);
+        b.finish()
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let mut ctx = ExecContext::new();
+        let g = sample_graph(&mut ctx);
+        let dot = to_dot(&g, "sample");
+        assert!(dot.starts_with("digraph \"sample\""));
+        assert!(dot.contains("fc1"));
+        assert!(dot.contains("(FC)"));
+        assert!(dot.contains("prob"));
+        assert!(dot.contains("doublecircle"));
+        // One edge input→fc, one fc→sigmoid, one sigmoid→out marker.
+        assert_eq!(dot.matches(" -> ").count(), 3);
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

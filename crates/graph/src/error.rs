@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+use drec_ops::OpError;
+
+/// Error type for graph construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An operator failed during execution.
+    Op {
+        /// Name of the failing node.
+        node: String,
+        /// The underlying operator error.
+        source: OpError,
+    },
+    /// The number of provided inputs does not match the graph's inputs.
+    InputCount {
+        /// Inputs the graph declares.
+        expected: usize,
+        /// Inputs provided to `execute`.
+        actual: usize,
+    },
+    /// A node referenced a value id that does not exist (builder misuse).
+    UnknownValue {
+        /// The offending value id index.
+        id: usize,
+    },
+    /// A value was consumed before it was produced (builder misuse).
+    ValueNotReady {
+        /// Name of the node that needed the value.
+        node: String,
+        /// The value id index.
+        id: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Op { node, source } => write!(f, "node '{node}' failed: {source}"),
+            GraphError::InputCount { expected, actual } => {
+                write!(f, "graph expects {expected} inputs, got {actual}")
+            }
+            GraphError::UnknownValue { id } => write!(f, "unknown value id {id}"),
+            GraphError::ValueNotReady { node, id } => {
+                write!(f, "node '{node}' read value {id} before it was produced")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Op { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Operator graphs: construction, execution, profiling, and framework
+//! dialects — the suite's stand-in for Caffe2's `NetDef` layer.
+//!
+//! * [`Graph`] / [`GraphBuilder`] — a static, topologically ordered operator
+//!   DAG whose nodes own their operators (and parameters),
+//! * [`execute`] / [`execute_traced`] — reference execution with value
+//!   lifetime management, optionally capturing a [`drec_trace::RunTrace`],
+//! * [`Breakdown`] — per-operator-type time shares (paper Fig 6),
+//! * [`Framework`] / [`dialect_entries`] — Caffe2 ↔ TensorFlow operator
+//!   naming so the Fig 7 comparison can be regenerated,
+//! * [`dot`] — Graphviz export for visualising model structure.
+//!
+//! # Example
+//!
+//! ```
+//! use drec_graph::GraphBuilder;
+//! use drec_ops::{ExecContext, Value};
+//! use drec_tensor::{ParamInit, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut ctx = ExecContext::new();
+//! let mut init = ParamInit::new(7);
+//! let mut b = GraphBuilder::new();
+//! let x = b.input("x");
+//! let h = b.fc(&mut ctx, &mut init, "fc1", x, 4, 8)?;
+//! let y = b.relu(&mut ctx, "relu1", h);
+//! b.mark_output(y);
+//! let graph = b.finish();
+//!
+//! let out = drec_graph::execute(
+//!     &graph,
+//!     &mut ctx,
+//!     vec![Value::dense(Tensor::zeros(&[2, 4]))],
+//! )?;
+//! assert_eq!(out[0].as_dense()?.dims(), &[2, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod breakdown;
+mod build;
+mod dialect;
+pub mod dot;
+mod error;
+mod exec;
+mod graph;
+
+pub use breakdown::Breakdown;
+pub use build::GraphBuilder;
+pub use dialect::{dialect_entries, Framework};
+pub use error::GraphError;
+pub use exec::{execute, execute_traced};
+pub use graph::{Graph, Node, NodeId, ValueId};
+
+/// Convenience result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

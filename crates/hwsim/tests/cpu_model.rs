@@ -1,0 +1,229 @@
+//! Behavioural tests of the CPU platform model on hand-built traces.
+
+use drec_hwsim::{CpuModel, CpuSim};
+use drec_trace::{
+    AccessKind, BranchProfile, CodeFootprint, CodeRegion, KernelClass, OpTrace, RunTrace,
+    SampledMemTrace, WorkVector,
+};
+use drec_uarch::InclusionPolicy;
+
+fn streaming_mem(lines: u64, base: u64) -> SampledMemTrace {
+    let mut t = SampledMemTrace::with_period(1);
+    for i in 0..lines {
+        t.record(base + i * 64, 64, AccessKind::Read);
+    }
+    t
+}
+
+fn random_mem(events: u64, span: u64) -> SampledMemTrace {
+    let mut t = SampledMemTrace::with_period(1);
+    let mut state = 0x77u64;
+    for _ in 0..events {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        t.record((state >> 9) % span, 64, AccessKind::Read);
+    }
+    t
+}
+
+fn op(name: &str, class: KernelClass, mem: SampledMemTrace, gather_rows: f64) -> OpTrace {
+    OpTrace {
+        name: name.to_string(),
+        op_type: "FC".to_string(),
+        class,
+        work: WorkVector {
+            fma_flops: 1e6,
+            other_flops: 1e4,
+            int_ops: 1e4,
+            contig_load_elems: 1e5,
+            contig_store_elems: 1e4,
+            gather_rows,
+            gather_row_bytes: if gather_rows > 0.0 { 128.0 } else { 0.0 },
+            vectorizable: 0.95,
+        },
+        branches: BranchProfile {
+            loop_branches: 3e4,
+            indirect_branches: 4.0,
+            ..BranchProfile::default()
+        },
+        code: CodeFootprint {
+            dispatch: CodeRegion {
+                base: 0x7f10_0000,
+                bytes: 4096,
+            },
+            kernel: CodeRegion {
+                base: 0x7f20_0000,
+                bytes: 8192,
+            },
+            hot_bytes: 256,
+            invocations: 1,
+            iterations: 3e4,
+        },
+        mem,
+        bytes_in: 1 << 16,
+        bytes_out: 1 << 14,
+        param_bytes: 1 << 18,
+    }
+}
+
+fn run(ops: Vec<OpTrace>) -> RunTrace {
+    RunTrace {
+        ops,
+        batch: 16,
+        input_bytes: 1 << 16,
+    }
+}
+
+#[test]
+fn table_two_policies_are_wired() {
+    assert_eq!(
+        CpuModel::broadwell().hierarchy.policy,
+        InclusionPolicy::Inclusive
+    );
+    assert_eq!(
+        CpuModel::cascade_lake().hierarchy.policy,
+        InclusionPolicy::Exclusive
+    );
+}
+
+#[test]
+fn sequential_streams_beat_random_access_of_equal_volume() {
+    // Same event count; only the address pattern differs.
+    let seq = run(vec![op(
+        "seq",
+        KernelClass::DenseMatmul,
+        streaming_mem(100_000, 0x100_0000),
+        0.0,
+    )]);
+    let rand = run(vec![op(
+        "rand",
+        KernelClass::Gather,
+        random_mem(100_000, 8 << 30),
+        100_000.0,
+    )]);
+    let seq_secs = CpuSim::new(CpuModel::broadwell()).simulate(&seq).seconds;
+    let rand_secs = CpuSim::new(CpuModel::broadwell()).simulate(&rand).seconds;
+    assert!(
+        rand_secs > seq_secs * 2.0,
+        "random {rand_secs} vs sequential {seq_secs}"
+    );
+}
+
+#[test]
+fn tlb_walks_show_up_only_for_giant_irregular_footprints() {
+    let small = run(vec![op(
+        "small",
+        KernelClass::Gather,
+        random_mem(50_000, 1 << 22), // 4 MiB: 1024 pages, TLB-resident
+        50_000.0,
+    )]);
+    let giant = run(vec![op(
+        "giant",
+        KernelClass::Gather,
+        random_mem(50_000, 8 << 30),
+        50_000.0,
+    )]);
+    let small_c = CpuSim::new(CpuModel::broadwell()).simulate(&small);
+    let giant_c = CpuSim::new(CpuModel::broadwell()).simulate(&giant);
+    assert!(
+        giant_c.tlb_walk_mpki > 10.0 * small_c.tlb_walk_mpki.max(0.01),
+        "{} vs {}",
+        giant_c.tlb_walk_mpki,
+        small_c.tlb_walk_mpki
+    );
+}
+
+#[test]
+fn counters_scale_roughly_linearly_with_repeated_ops() {
+    let one = run(vec![op(
+        "a",
+        KernelClass::DenseMatmul,
+        streaming_mem(10_000, 0x100_0000),
+        0.0,
+    )]);
+    let four = run((0..4)
+        .map(|i| {
+            op(
+                &format!("a{i}"),
+                KernelClass::DenseMatmul,
+                streaming_mem(10_000, 0x100_0000 + i * 0x200_0000),
+                0.0,
+            )
+        })
+        .collect());
+    let c1 = CpuSim::new(CpuModel::broadwell()).simulate(&one);
+    let c4 = CpuSim::new(CpuModel::broadwell()).simulate(&four);
+    let ratio = c4.retired_instructions / c1.retired_instructions;
+    assert!((3.5..4.5).contains(&ratio), "{ratio}");
+    assert!(c4.cycles > c1.cycles * 3.0);
+}
+
+#[test]
+fn exclusive_llc_helps_l2_plus_l3_working_sets() {
+    // A working set sized between CLX L2 (1 MiB) and L2+L3: stream it
+    // twice. The exclusive hierarchy retains more of it.
+    let lines = 24 * 1024; // 1.5 MiB
+    let mut t = SampledMemTrace::with_period(1);
+    for pass in 0..2 {
+        let _ = pass;
+        for i in 0..lines {
+            t.record(0x40_0000 + i * 64, 64, AccessKind::Read);
+        }
+    }
+    let trace = run(vec![op("ws", KernelClass::DenseMatmul, t, 0.0)]);
+
+    let mut inclusive_model = CpuModel::cascade_lake();
+    inclusive_model.hierarchy.policy = InclusionPolicy::Inclusive;
+    // Shrink L3 so the policy difference is visible at this working set.
+    inclusive_model.hierarchy.l3.bytes = 1024 * 1024;
+    let mut exclusive_model = inclusive_model.clone();
+    exclusive_model.hierarchy.policy = InclusionPolicy::Exclusive;
+
+    let inc = CpuSim::new(inclusive_model).simulate(&trace);
+    let exc = CpuSim::new(exclusive_model).simulate(&trace);
+    assert!(
+        exc.mem_level_hits[3] < inc.mem_level_hits[3],
+        "exclusive DRAM {} vs inclusive {}",
+        exc.mem_level_hits[3],
+        inc.mem_level_hits[3]
+    );
+}
+
+#[test]
+fn frontend_dominates_for_dispatch_heavy_tiny_ops() {
+    // 300 distinct tiny ops: code fetch outweighs their work.
+    let ops: Vec<OpTrace> = (0..300)
+        .map(|i| {
+            let mut o = op(
+                &format!("tiny{i}"),
+                KernelClass::Elementwise,
+                streaming_mem(8, 0x100_0000 + i * 4096),
+                0.0,
+            );
+            o.work = WorkVector {
+                other_flops: 256.0,
+                contig_load_elems: 256.0,
+                contig_store_elems: 256.0,
+                vectorizable: 0.9,
+                ..WorkVector::default()
+            };
+            o.branches = BranchProfile {
+                loop_branches: 16.0,
+                indirect_branches: 4.0,
+                ..BranchProfile::default()
+            };
+            o.code.dispatch = CodeRegion {
+                base: 0x7f10_0000 + i * 0x2000,
+                bytes: 6144,
+            };
+            o.code.iterations = 16.0;
+            o
+        })
+        .collect();
+    let counters = CpuSim::new(CpuModel::broadwell()).simulate(&run(ops));
+    assert!(
+        counters.topdown.frontend > 0.2,
+        "frontend {:?}",
+        counters.topdown
+    );
+    assert!(counters.icache_mpki > 5.0, "{}", counters.icache_mpki);
+}

@@ -1,0 +1,157 @@
+//! Property-based monotonicity checks on the platform models: more work
+//! never gets cheaper, bigger caches never hurt, faster DRAM never slows
+//! things down.
+
+use drec_hwsim::{CpuModel, CpuSim, GpuModel};
+use drec_trace::{
+    AccessKind, BranchProfile, CodeFootprint, CodeRegion, KernelClass, OpTrace, RunTrace,
+    SampledMemTrace, WorkVector,
+};
+use proptest::prelude::*;
+
+fn dense_op(flop_scale: f64, lines: u64) -> OpTrace {
+    let mut mem = SampledMemTrace::with_period(1);
+    for i in 0..lines {
+        mem.record(0x100_0000 + i * 64, 64, AccessKind::Read);
+    }
+    OpTrace {
+        name: "op".into(),
+        op_type: "FC".into(),
+        class: KernelClass::DenseMatmul,
+        work: WorkVector {
+            fma_flops: 1e5 * flop_scale,
+            other_flops: 1e3 * flop_scale,
+            int_ops: 1e3 * flop_scale,
+            contig_load_elems: 1e4 * flop_scale,
+            contig_store_elems: 1e3 * flop_scale,
+            vectorizable: 0.95,
+            ..WorkVector::default()
+        },
+        branches: BranchProfile {
+            loop_branches: 3e3 * flop_scale,
+            indirect_branches: 4.0,
+            ..BranchProfile::default()
+        },
+        code: CodeFootprint {
+            dispatch: CodeRegion {
+                base: 0x7f10_0000,
+                bytes: 4096,
+            },
+            kernel: CodeRegion {
+                base: 0x7f20_0000,
+                bytes: 8192,
+            },
+            hot_bytes: 256,
+            invocations: 1,
+            iterations: 3e3 * flop_scale,
+        },
+        mem,
+        bytes_in: 4096,
+        bytes_out: 4096,
+        param_bytes: 1 << 16,
+    }
+}
+
+fn run_of(op: OpTrace) -> RunTrace {
+    RunTrace {
+        ops: vec![op],
+        batch: 8,
+        input_bytes: 4096,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cpu_time_grows_with_work(scale in 1.0f64..20.0) {
+        let small = CpuSim::new(CpuModel::broadwell())
+            .simulate(&run_of(dense_op(1.0, 64)))
+            .seconds;
+        let big = CpuSim::new(CpuModel::broadwell())
+            .simulate(&run_of(dense_op(scale + 0.5, 64)))
+            .seconds;
+        prop_assert!(big > small);
+    }
+
+    #[test]
+    fn bigger_l3_never_adds_dram_traffic(extra_mb in 1u64..64) {
+        let mut small_l3 = CpuModel::broadwell();
+        small_l3.hierarchy.l3.bytes = 2 * 1024 * 1024;
+        let mut big_l3 = CpuModel::broadwell();
+        big_l3.hierarchy.l3.bytes = (2 + extra_mb) * 1024 * 1024;
+        // Working set ~4 MiB streamed twice.
+        let mut mem = SampledMemTrace::with_period(1);
+        for pass in 0..2 {
+            let _ = pass;
+            for i in 0..65_536u64 {
+                mem.record(0x100_0000 + i * 64, 64, AccessKind::Read);
+            }
+        }
+        let mut op = dense_op(1.0, 1);
+        op.mem = mem;
+        let small = CpuSim::new(small_l3).simulate(&run_of(op.clone()));
+        let big = CpuSim::new(big_l3).simulate(&run_of(op));
+        prop_assert!(big.mem_level_hits[3] <= small.mem_level_hits[3] + 1.0);
+    }
+
+    #[test]
+    fn faster_dram_never_hurts_gather_runs(bw_boost in 1.0f64..4.0) {
+        let mut base = CpuModel::broadwell();
+        let mut fast = CpuModel::broadwell();
+        fast.dram.bandwidth_bytes_per_sec = base.dram.bandwidth_bytes_per_sec * bw_boost;
+        base.dram.queue_entries = 26.0;
+        // A gather-heavy op with a giant random footprint.
+        let mut mem = SampledMemTrace::with_period(1);
+        let mut state = 7u64;
+        for _ in 0..30_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            mem.record((state >> 9) % (8 << 30), 64, AccessKind::Read);
+        }
+        let mut op = dense_op(1.0, 1);
+        op.class = KernelClass::Gather;
+        op.work.gather_rows = 30_000.0;
+        op.work.gather_row_bytes = 64.0;
+        op.mem = mem;
+        let slow_t = CpuSim::new(base).simulate(&run_of(op.clone())).seconds;
+        let fast_t = CpuSim::new(fast).simulate(&run_of(op)).seconds;
+        prop_assert!(fast_t <= slow_t * 1.0001, "{fast_t} vs {slow_t}");
+    }
+
+    #[test]
+    fn gpu_time_grows_with_flops(scale in 1.0f64..50.0) {
+        let gpu = GpuModel::t4();
+        let small = gpu.simulate(&run_of(dense_op(1.0, 1))).seconds;
+        let big = gpu.simulate(&run_of(dense_op(scale + 0.5, 1))).seconds;
+        prop_assert!(big >= small);
+    }
+
+    #[test]
+    fn gpu_pcie_time_grows_with_input_bytes(extra_kb in 1u64..1024) {
+        let gpu = GpuModel::gtx_1080_ti();
+        let mut small = run_of(dense_op(1.0, 1));
+        small.input_bytes = 1024;
+        let mut big = run_of(dense_op(1.0, 1));
+        big.input_bytes = 1024 + extra_kb * 1024;
+        prop_assert!(
+            gpu.simulate(&big).data_comm_seconds > gpu.simulate(&small).data_comm_seconds
+        );
+    }
+
+    #[test]
+    fn topdown_is_always_a_valid_distribution(scale in 0.5f64..30.0, lines in 1u64..2_000) {
+        let counters = CpuSim::new(CpuModel::cascade_lake())
+            .simulate(&run_of(dense_op(scale, lines)));
+        let td = counters.topdown;
+        prop_assert!((td.total() - 1.0).abs() < 1e-6);
+        for v in [
+            td.retiring,
+            td.frontend,
+            td.bad_speculation,
+            td.backend_core,
+            td.backend_memory,
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "{td:?}");
+        }
+    }
+}

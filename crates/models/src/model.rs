@@ -1,0 +1,147 @@
+use drec_graph::{execute, execute_traced, Graph, GraphError};
+use drec_ops::{ExecContext, Value};
+use drec_trace::RunTrace;
+
+use crate::builders;
+use crate::{InputSpec, ModelMeta};
+
+/// Identifier of one of the eight studied models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// Neural Collaborative Filtering.
+    Ncf,
+    /// DLRM variant 1 — small, 80 lookups/table.
+    Rm1,
+    /// DLRM variant 2 — large, 32 tables × 120 lookups.
+    Rm2,
+    /// DLRM variant 3 — large FC stacks, continuous-feature heavy.
+    Rm3,
+    /// Wide & Deep.
+    Wnd,
+    /// Multi-Task Wide & Deep.
+    MtWnd,
+    /// Deep Interest Network (attention via local activation units).
+    Din,
+    /// Deep Interest Evolution Network (GRU-based interest evolution).
+    Dien,
+}
+
+impl ModelId {
+    /// All eight models in Table I order.
+    pub const ALL: [ModelId; 8] = [
+        ModelId::Ncf,
+        ModelId::Rm1,
+        ModelId::Rm2,
+        ModelId::Rm3,
+        ModelId::Wnd,
+        ModelId::MtWnd,
+        ModelId::Din,
+        ModelId::Dien,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelId::Ncf => "NCF",
+            ModelId::Rm1 => "RM1",
+            ModelId::Rm2 => "RM2",
+            ModelId::Rm3 => "RM3",
+            ModelId::Wnd => "WnD",
+            ModelId::MtWnd => "MT-WnD",
+            ModelId::Din => "DIN",
+            ModelId::Dien => "DIEN",
+        }
+    }
+
+    /// Builds the model at the given scale with a deterministic seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if graph construction fails (which would
+    /// indicate a bug in the builder, not user error).
+    pub fn build(self, scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+        builders::build(self, scale, seed)
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How large to build a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelScale {
+    /// Miniature configuration for fast unit tests.
+    Tiny,
+    /// The published shapes (embedding row counts virtualised, the largest
+    /// FC stacks moderately reduced — see DESIGN.md §5 for the table).
+    Paper,
+}
+
+/// A built recommendation model: its operator graph, the simulated process
+/// it lives in, its input contract, and its Table I metadata.
+#[derive(Debug)]
+pub struct RecModel {
+    pub(crate) id: ModelId,
+    pub(crate) graph: Graph,
+    pub(crate) ctx: ExecContext,
+    pub(crate) spec: InputSpec,
+    pub(crate) meta: ModelMeta,
+}
+
+impl RecModel {
+    /// The model identifier.
+    pub fn id(&self) -> ModelId {
+        self.id
+    }
+
+    /// The operator graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The input contract for the workload generator.
+    pub fn spec(&self) -> &InputSpec {
+        &self.spec
+    }
+
+    /// Table I metadata and Fig 16 features.
+    pub fn meta(&self) -> &ModelMeta {
+        &self.meta
+    }
+
+    /// Sets the per-op retained-memory-event target for traced runs.
+    pub fn set_trace_target(&mut self, target_events_per_op: usize) {
+        self.ctx.set_trace_target(target_events_per_op);
+    }
+
+    /// Runs one inference without tracing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-execution errors (e.g. inputs that do not match
+    /// [`RecModel::spec`]).
+    pub fn run(&mut self, inputs: Vec<Value>) -> Result<Vec<Value>, GraphError> {
+        self.ctx.set_tracing(false);
+        execute(&self.graph, &mut self.ctx, inputs)
+    }
+
+    /// Runs one inference with tracing, returning outputs and the captured
+    /// [`RunTrace`]. `target_events_per_op` bounds trace memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-execution errors.
+    pub fn run_traced(
+        &mut self,
+        inputs: Vec<Value>,
+        batch: usize,
+    ) -> Result<(Vec<Value>, RunTrace), GraphError> {
+        self.ctx.set_tracing(true);
+        let result = execute_traced(&self.graph, &mut self.ctx, inputs, batch);
+        self.ctx.set_tracing(false);
+        result
+    }
+}

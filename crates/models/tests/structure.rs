@@ -1,0 +1,124 @@
+//! Structural assertions on each model's graph composition — the
+//! architecture details Table I and Section III describe.
+
+use drec_models::{ModelId, ModelScale};
+use drec_ops::OpKind;
+
+fn build(id: ModelId, scale: ModelScale) -> drec_models::RecModel {
+    id.build(scale, 7).expect("model builds")
+}
+
+#[test]
+fn ncf_has_two_paths_and_four_tables() {
+    let m = build(ModelId::Ncf, ModelScale::Tiny);
+    let g = m.graph();
+    assert_eq!(g.count_kind(OpKind::SparseLengthsSum), 4);
+    // GMF elementwise product exists.
+    assert!(g.count_kind(OpKind::Mul) >= 1);
+    // Two id inputs drive four tables (inputs shared between paths).
+    assert_eq!(m.spec().len(), 2);
+}
+
+#[test]
+fn dlrm_models_share_the_skeleton() {
+    for id in [ModelId::Rm1, ModelId::Rm2, ModelId::Rm3] {
+        let m = build(id, ModelScale::Tiny);
+        let g = m.graph();
+        assert_eq!(
+            g.count_kind(OpKind::SparseLengthsSum),
+            m.meta().num_tables,
+            "{id} one pooled lookup per table"
+        );
+        assert_eq!(g.count_kind(OpKind::BatchMatMul), 1, "{id} interaction");
+        assert_eq!(g.count_kind(OpKind::Sigmoid), 1, "{id} CTR head");
+        // One dense input plus one id input per table.
+        assert_eq!(m.spec().len(), 1 + m.meta().num_tables, "{id}");
+    }
+}
+
+#[test]
+fn rm_paper_scale_matches_published_knobs() {
+    let rm1 = build(ModelId::Rm1, ModelScale::Paper);
+    assert_eq!(rm1.meta().num_tables, 8);
+    assert_eq!(rm1.meta().lookups_per_table, 80.0);
+    let rm2 = build(ModelId::Rm2, ModelScale::Paper);
+    assert_eq!(rm2.meta().num_tables, 32);
+    assert_eq!(rm2.meta().lookups_per_table, 120.0);
+    assert_eq!(rm2.meta().latent_dim, 64);
+    let rm3 = build(ModelId::Rm3, ModelScale::Paper);
+    assert!(rm3.meta().fc_param_bytes > rm1.meta().fc_param_bytes * 5);
+}
+
+#[test]
+fn wnd_uses_one_lookup_per_table() {
+    let m = build(ModelId::Wnd, ModelScale::Paper);
+    assert_eq!(m.meta().lookups_per_table, 1.0);
+    assert_eq!(m.meta().num_tables, 26);
+    // Every id slot asks for exactly one lookup.
+    for (name, slot) in m.spec().slots() {
+        if let drec_models::InputSlot::Ids { lookups, .. } = slot {
+            assert_eq!(*lookups, 1, "{name}");
+        }
+    }
+}
+
+#[test]
+fn mt_wnd_extends_wnd_with_heads() {
+    let wnd = build(ModelId::Wnd, ModelScale::Tiny);
+    let mt = build(ModelId::MtWnd, ModelScale::Tiny);
+    assert!(mt.graph().count_kind(OpKind::Fc) > wnd.graph().count_kind(OpKind::Fc));
+    assert!(mt.graph().count_kind(OpKind::Sigmoid) >= 2);
+    assert_eq!(mt.graph().outputs().len(), 2);
+}
+
+#[test]
+fn din_builds_one_activation_unit_per_position() {
+    let m = build(ModelId::Din, ModelScale::Tiny);
+    let g = m.graph();
+    let seq = m.meta().seq_len;
+    assert!(seq > 0);
+    // Per position: gather + cross-mul + concat + 2 FCs + relu + scale-mul.
+    assert_eq!(
+        g.count_kind(OpKind::Gather),
+        seq + 1,
+        "behaviours + candidate"
+    );
+    assert_eq!(g.count_kind(OpKind::Concat), seq + 1, "units + top concat");
+    assert!(g.count_kind(OpKind::Fc) >= 2 * seq);
+    assert_eq!(g.count_kind(OpKind::Mul), 2 * seq);
+    assert!(g.count_kind(OpKind::Sum) >= 1);
+}
+
+#[test]
+fn dien_replaces_units_with_grus() {
+    let m = build(ModelId::Dien, ModelScale::Tiny);
+    let g = m.graph();
+    assert_eq!(g.count_kind(OpKind::RecurrentNetwork), 2);
+    assert_eq!(g.count_kind(OpKind::Softmax), 1);
+    // Far fewer nodes than DIN despite the same task.
+    let din = build(ModelId::Din, ModelScale::Tiny);
+    assert!(g.len() < din.graph().len() / 2);
+}
+
+#[test]
+fn paper_scale_embedding_budgets_are_ordered() {
+    // RM2 holds the largest tables; NCF the smallest of the DLRM-likes.
+    let emb = |id: ModelId| build(id, ModelScale::Paper).meta().emb_param_bytes;
+    let rm2 = emb(ModelId::Rm2);
+    assert!(rm2 > emb(ModelId::Rm1));
+    assert!(rm2 > emb(ModelId::Rm3));
+    assert!(rm2 > emb(ModelId::Ncf) * 10);
+}
+
+#[test]
+fn every_model_reports_positive_io_spec() {
+    for id in ModelId::ALL {
+        let m = build(id, ModelScale::Tiny);
+        assert!(m.spec().bytes_per_sample() > 0, "{id}");
+        assert_eq!(
+            m.spec().len(),
+            m.graph().input_names().len(),
+            "{id} spec covers every graph input"
+        );
+    }
+}

@@ -1,0 +1,559 @@
+use std::sync::Arc;
+
+use drec_tensor::{ParamInit, Tensor};
+use drec_trace::{BranchProfile, CodeFootprint, CodeRegion, WorkVector};
+
+use crate::op::check_arity;
+use crate::{kind_cost, ExecContext, OpError, OpKind, Operator, Result, Value};
+
+/// Rate at which the per-lookup validity/segment-boundary branch inside a
+/// sparse gather kernel is taken. Mostly-taken but irregular: predictors
+/// without a per-site bias table (Broadwell's, in this model) stay
+/// under-trained across the scattered history contexts and mispredict
+/// heavily — the bad-speculation slots on RM1/RM2 in Fig 8/15.
+const GATHER_BRANCH_TAKEN_RATE: f64 = 0.7;
+
+/// An embedding table with a production-sized *virtual* row space backed by
+/// a truncated physical buffer.
+///
+/// The paper's tables reach GBs; allocating them physically would be
+/// wasteful since the study never trains. `EmbeddingTable` allocates
+/// `physical_rows = min(virtual_rows, physical_cap)` rows of real storage
+/// while reserving address space for all `virtual_rows`. Functional lookups
+/// read row `id % physical_rows`; the *trace* records the untruncated
+/// virtual address, so cache simulators see production-sized, irregular
+/// footprints. This substitution is documented in DESIGN.md.
+#[derive(Debug)]
+pub struct EmbeddingTable {
+    data: Tensor,
+    virtual_rows: usize,
+    dim: usize,
+    base: u64,
+}
+
+impl EmbeddingTable {
+    /// Creates a table of `virtual_rows × dim`, physically capped at
+    /// `physical_cap` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `virtual_rows`, `dim`, or `physical_cap` is zero.
+    pub fn new(
+        virtual_rows: usize,
+        dim: usize,
+        physical_cap: usize,
+        ctx: &mut ExecContext,
+        init: &mut ParamInit,
+    ) -> Arc<Self> {
+        assert!(virtual_rows > 0 && dim > 0 && physical_cap > 0);
+        let physical_rows = virtual_rows.min(physical_cap);
+        let data = init.uniform(&[physical_rows, dim], -0.05, 0.05);
+        let base = ctx.alloc_param((virtual_rows * dim * 4) as u64);
+        Arc::new(EmbeddingTable {
+            data,
+            virtual_rows,
+            dim,
+            base,
+        })
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Virtual (logical) row count — what ids are sampled against.
+    pub fn virtual_rows(&self) -> usize {
+        self.virtual_rows
+    }
+
+    /// Physically allocated row count.
+    pub fn physical_rows(&self) -> usize {
+        self.data.dims()[0]
+    }
+
+    /// Bytes of parameters at the *virtual* size (what a production
+    /// deployment would hold).
+    pub fn virtual_bytes(&self) -> u64 {
+        (self.virtual_rows * self.dim * 4) as u64
+    }
+
+    /// Row contents for `id` (wrapped into the physical buffer).
+    fn row(&self, id: u32) -> &[f32] {
+        let phys = (id as usize) % self.physical_rows();
+        &self.data.as_slice()[phys * self.dim..(phys + 1) * self.dim]
+    }
+
+    /// Virtual address of row `id`.
+    fn row_addr(&self, id: u32) -> u64 {
+        self.base + (id as u64 % self.virtual_rows as u64) * (self.dim as u64 * 4)
+    }
+}
+
+/// Opens the gather-side trace record: reserves the sampler and records
+/// the id-list read. Row reads are recorded inline by the caller during the
+/// functional gather loop (avoiding a per-lookup address buffer).
+#[allow(clippy::too_many_arguments)]
+fn begin_gather_trace(
+    ctx: &mut ExecContext,
+    table: &EmbeddingTable,
+    expected_lookups: u64,
+    ids_addr: u64,
+    ids_bytes: u64,
+    out_bytes: u64,
+) {
+    let row_bytes = (table.dim() * 4) as u64;
+    let lines_per_row = row_bytes.div_ceil(64);
+    ctx.reserve_mem_events(expected_lookups * lines_per_row + ids_bytes / 64 + out_bytes / 64 + 2);
+    ctx.record_read(ids_addr, ids_bytes);
+}
+
+/// Closes the gather-side trace record with the aggregate work evidence.
+#[allow(clippy::too_many_arguments)]
+fn finish_gather_trace(
+    ctx: &mut ExecContext,
+    kind: OpKind,
+    dispatch: CodeRegion,
+    kernel: CodeRegion,
+    table: &EmbeddingTable,
+    lookups: f64,
+    ids_bytes: u64,
+    out_addr: u64,
+    out_bytes: u64,
+    pooled: bool,
+) {
+    let dim = table.dim();
+    let row_bytes = (dim * 4) as u64;
+    ctx.record_write(out_addr, out_bytes);
+
+    let pool_flops = if pooled { lookups * dim as f64 } else { 0.0 };
+    ctx.add_work(WorkVector {
+        fma_flops: 0.0,
+        other_flops: pool_flops,
+        int_ops: lookups * 4.0,
+        contig_load_elems: ids_bytes as f64 / 4.0,
+        contig_store_elems: out_bytes as f64 / 4.0,
+        gather_rows: lookups,
+        gather_row_bytes: row_bytes as f64,
+        vectorizable: 0.9,
+    });
+    let cost = kind_cost(kind);
+    let iterations = lookups * dim as f64 / cost.elems_per_iter;
+    ctx.add_branches(BranchProfile {
+        loop_branches: iterations,
+        data_branches: lookups,
+        data_taken_rate: GATHER_BRANCH_TAKEN_RATE,
+        indirect_branches: 4.0,
+    });
+    ctx.set_code(CodeFootprint {
+        dispatch,
+        kernel,
+        hot_bytes: cost.hot_loop_bytes,
+        invocations: 1,
+        iterations,
+    });
+}
+
+/// How a pooled lookup combines a sample's gathered rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Elementwise sum (Caffe2 `SparseLengthsSum`).
+    Sum,
+    /// Elementwise mean (Caffe2 `SparseLengthsMean`); empty segments pool
+    /// to zeros.
+    Mean,
+}
+
+/// Pooled embedding lookup (Caffe2 `SparseLengthsSum` /
+/// `SparseLengthsMean`): for each sample, gathers its ids' rows and pools
+/// them into one `dim`-wide vector.
+#[derive(Debug)]
+pub struct SparseLengthsSum {
+    table: Arc<EmbeddingTable>,
+    mode: PoolMode,
+    dispatch: CodeRegion,
+    kernel: CodeRegion,
+}
+
+impl SparseLengthsSum {
+    /// Creates a sum-pooled lookup over `table`.
+    pub fn new(table: Arc<EmbeddingTable>, ctx: &mut ExecContext) -> Self {
+        Self::with_mode(table, PoolMode::Sum, ctx)
+    }
+
+    /// Creates a pooled lookup with an explicit [`PoolMode`].
+    pub fn with_mode(table: Arc<EmbeddingTable>, mode: PoolMode, ctx: &mut ExecContext) -> Self {
+        let kind = match mode {
+            PoolMode::Sum => OpKind::SparseLengthsSum,
+            PoolMode::Mean => OpKind::SparseLengthsMean,
+        };
+        SparseLengthsSum {
+            table,
+            mode,
+            dispatch: ctx.alloc_dispatch(kind),
+            kernel: ctx.kernel_region(kind),
+        }
+    }
+
+    /// The table this op reads.
+    pub fn table(&self) -> &Arc<EmbeddingTable> {
+        &self.table
+    }
+
+    /// The pooling mode.
+    pub fn mode(&self) -> PoolMode {
+        self.mode
+    }
+}
+
+impl Operator for SparseLengthsSum {
+    fn kind(&self) -> OpKind {
+        match self.mode {
+            PoolMode::Sum => OpKind::SparseLengthsSum,
+            PoolMode::Mean => OpKind::SparseLengthsMean,
+        }
+    }
+
+    fn param_bytes(&self) -> u64 {
+        self.table.virtual_bytes()
+    }
+
+    fn run(&self, ctx: &mut ExecContext, inputs: &[&Value]) -> Result<Value> {
+        check_arity("SparseLengthsSum", inputs, 1)?;
+        let ids = inputs[0].ids_ref("SparseLengthsSum")?;
+        let batch = ids.batch();
+        let dim = self.table.dim();
+        let tracing = ctx.tracing_enabled();
+        let out_bytes = (batch * dim * 4) as u64;
+        let row_bytes = (dim * 4) as u64;
+
+        if tracing {
+            begin_gather_trace(
+                ctx,
+                &self.table,
+                ids.total_lookups() as u64,
+                inputs[0].addr,
+                inputs[0].byte_size(),
+                out_bytes,
+            );
+        }
+        let mut out = Tensor::zeros(&[batch, dim]);
+        let mut lookups = 0u64;
+        // Segment bookkeeping done manually so row reads can be recorded
+        // inline without borrowing `ids` across the `ctx` calls.
+        let mut pos = 0usize;
+        for (sample, &len) in ids.lengths.iter().enumerate() {
+            let acc = &mut out.as_mut_slice()[sample * dim..(sample + 1) * dim];
+            for &id in &ids.ids[pos..pos + len as usize] {
+                let row = self.table.row(id);
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a += v;
+                }
+                if tracing {
+                    ctx.record_read(self.table.row_addr(id), row_bytes);
+                }
+                lookups += 1;
+            }
+            if self.mode == PoolMode::Mean && len > 0 {
+                let inv = 1.0 / len as f32;
+                for a in acc.iter_mut() {
+                    *a *= inv;
+                }
+            }
+            pos += len as usize;
+        }
+        let out_addr = ctx.alloc_activation(out_bytes);
+        if tracing {
+            if self.mode == PoolMode::Mean {
+                // The normalisation pass adds one multiply per element.
+                ctx.add_work(WorkVector {
+                    other_flops: (batch * dim) as f64,
+                    vectorizable: 0.95,
+                    ..WorkVector::default()
+                });
+            }
+            finish_gather_trace(
+                ctx,
+                self.kind(),
+                self.dispatch,
+                self.kernel,
+                &self.table,
+                lookups as f64,
+                inputs[0].byte_size(),
+                out_addr,
+                out_bytes,
+                true,
+            );
+        }
+        let mut v = Value::dense(out);
+        v.addr = out_addr;
+        Ok(v)
+    }
+}
+
+/// Which ids an [`EmbeddingGather`] extracts from each sample's segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherMode {
+    /// One id per sample: the segment entry at this position.
+    Position(usize),
+    /// All ids per sample, which must have uniform segment length; output
+    /// is the concatenated `[batch, seq_len * dim]` sequence.
+    FullSequence,
+}
+
+/// Unpooled embedding lookup (Caffe2 `Gather`) used by the attention-based
+/// models (DIN fetches one behaviour position per local activation unit;
+/// DIEN fetches the full behaviour sequence for its GRUs).
+#[derive(Debug)]
+pub struct EmbeddingGather {
+    table: Arc<EmbeddingTable>,
+    mode: GatherMode,
+    dispatch: CodeRegion,
+    kernel: CodeRegion,
+}
+
+impl EmbeddingGather {
+    /// Creates a gather of `mode` over `table`.
+    pub fn new(table: Arc<EmbeddingTable>, mode: GatherMode, ctx: &mut ExecContext) -> Self {
+        EmbeddingGather {
+            table,
+            mode,
+            dispatch: ctx.alloc_dispatch(OpKind::Gather),
+            kernel: ctx.kernel_region(OpKind::Gather),
+        }
+    }
+}
+
+impl Operator for EmbeddingGather {
+    fn kind(&self) -> OpKind {
+        OpKind::Gather
+    }
+
+    fn param_bytes(&self) -> u64 {
+        // The table is owned (reported) by whichever op was registered
+        // first in the graph; gathers sharing a table report 0 to avoid
+        // double counting. Graph-level accounting uses table identity.
+        0
+    }
+
+    fn run(&self, ctx: &mut ExecContext, inputs: &[&Value]) -> Result<Value> {
+        check_arity("Gather", inputs, 1)?;
+        let ids = inputs[0].ids_ref("Gather")?;
+        let batch = ids.batch();
+        let dim = self.table.dim();
+        let tracing = ctx.tracing_enabled();
+        let row_bytes = (dim * 4) as u64;
+
+        let expected_lookups = match self.mode {
+            GatherMode::Position(_) => batch as u64,
+            GatherMode::FullSequence => ids.total_lookups() as u64,
+        };
+        let expected_out_bytes = expected_lookups * row_bytes;
+        if tracing {
+            begin_gather_trace(
+                ctx,
+                &self.table,
+                expected_lookups,
+                inputs[0].addr,
+                inputs[0].byte_size(),
+                expected_out_bytes,
+            );
+        }
+
+        let mut lookups = 0u64;
+        let out = match self.mode {
+            GatherMode::Position(p) => {
+                let mut out = Tensor::zeros(&[batch, dim]);
+                let mut pos = 0usize;
+                for (sample, &len) in ids.lengths.iter().enumerate() {
+                    let seg = &ids.ids[pos..pos + len as usize];
+                    let id = *seg.get(p).ok_or_else(|| OpError::InvalidInput {
+                        op: "Gather",
+                        message: format!(
+                            "position {p} out of range for segment of length {}",
+                            seg.len()
+                        ),
+                    })?;
+                    out.as_mut_slice()[sample * dim..(sample + 1) * dim]
+                        .copy_from_slice(self.table.row(id));
+                    if tracing {
+                        ctx.record_read(self.table.row_addr(id), row_bytes);
+                    }
+                    lookups += 1;
+                    pos += len as usize;
+                }
+                out
+            }
+            GatherMode::FullSequence => {
+                let seq_len = ids.lengths.first().copied().unwrap_or(0) as usize;
+                if ids.lengths.iter().any(|&l| l as usize != seq_len) {
+                    return Err(OpError::InvalidInput {
+                        op: "Gather",
+                        message: "full-sequence gather requires uniform segment lengths"
+                            .to_string(),
+                    });
+                }
+                let mut out = Tensor::zeros(&[batch, seq_len * dim]);
+                let mut pos = 0usize;
+                for sample in 0..batch {
+                    for t in 0..seq_len {
+                        let id = ids.ids[pos + t];
+                        let off = sample * seq_len * dim + t * dim;
+                        out.as_mut_slice()[off..off + dim].copy_from_slice(self.table.row(id));
+                        if tracing {
+                            ctx.record_read(self.table.row_addr(id), row_bytes);
+                        }
+                        lookups += 1;
+                    }
+                    pos += seq_len;
+                }
+                out
+            }
+        };
+
+        let out_bytes = (out.numel() * 4) as u64;
+        let out_addr = ctx.alloc_activation(out_bytes);
+        if tracing {
+            finish_gather_trace(
+                ctx,
+                OpKind::Gather,
+                self.dispatch,
+                self.kernel,
+                &self.table,
+                lookups as f64,
+                inputs[0].byte_size(),
+                out_addr,
+                out_bytes,
+                false,
+            );
+        }
+        let mut v = Value::dense(out);
+        v.addr = out_addr;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdList;
+
+    fn setup() -> (ExecContext, ParamInit) {
+        (ExecContext::with_tracing(1 << 16), ParamInit::new(1))
+    }
+
+    #[test]
+    fn sls_pools_rows() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let sls = SparseLengthsSum::new(Arc::clone(&table), &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 2, 3], vec![2, 1])));
+        let out = sls.execute(&mut ctx, "sls", &[&ids]).unwrap();
+        let t = out.as_dense().unwrap();
+        assert_eq!(t.dims(), &[2, 4]);
+        // Sample 0 = row1 + row2; sample 1 = row3.
+        for d in 0..4 {
+            let expect = table.row(1)[d] + table.row(2)[d];
+            assert!((t.get(&[0, d]).unwrap() - expect).abs() < 1e-6);
+            assert!((t.get(&[1, d]).unwrap() - table.row(3)[d]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sls_trace_records_gathers() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(1000, 16, 100, &mut ctx, &mut init);
+        let sls = SparseLengthsSum::new(table, &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(
+            (0..40).map(|i| i * 13 % 1000).collect(),
+            vec![10, 10, 10, 10],
+        )));
+        sls.execute(&mut ctx, "sls", &[&ids]).unwrap();
+        let run = ctx.take_run_trace(4, 0);
+        let t = &run.ops[0];
+        assert_eq!(t.work.gather_rows, 40.0);
+        assert_eq!(t.work.gather_row_bytes, 64.0);
+        assert_eq!(t.branches.data_branches, 40.0);
+    }
+
+    #[test]
+    fn mean_pooling_averages_rows() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let mean = SparseLengthsSum::with_mode(Arc::clone(&table), PoolMode::Mean, &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 3], vec![2])));
+        let out = mean.execute(&mut ctx, "mean", &[&ids]).unwrap();
+        let t = out.as_dense().unwrap();
+        for d in 0..4 {
+            let expect = (table.row(1)[d] + table.row(3)[d]) / 2.0;
+            assert!((t.get(&[0, d]).unwrap() - expect).abs() < 1e-6);
+        }
+        assert_eq!(mean.kind(), OpKind::SparseLengthsMean);
+    }
+
+    #[test]
+    fn mean_pooling_empty_segment_is_zero() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let mean = SparseLengthsSum::with_mode(table, PoolMode::Mean, &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(vec![2], vec![0, 1])));
+        let out = mean.execute(&mut ctx, "mean", &[&ids]).unwrap();
+        let t = out.as_dense().unwrap();
+        assert!(t.row(0).unwrap().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn virtual_rows_exceed_physical() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(1_000_000, 8, 64, &mut ctx, &mut init);
+        assert_eq!(table.physical_rows(), 64);
+        assert_eq!(table.virtual_rows(), 1_000_000);
+        // Distinct virtual ids mapping to the same physical row still get
+        // distinct trace addresses.
+        assert_ne!(table.row_addr(0), table.row_addr(64));
+        assert_eq!(table.row(0), table.row(64));
+    }
+
+    #[test]
+    fn gather_position_extracts_single_id() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let g = EmbeddingGather::new(Arc::clone(&table), GatherMode::Position(1), &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(vec![5, 7, 2, 9], vec![2, 2])));
+        let out = g.execute(&mut ctx, "g", &[&ids]).unwrap();
+        let t = out.as_dense().unwrap();
+        assert_eq!(t.dims(), &[2, 4]);
+        assert_eq!(&t.as_slice()[0..4], table.row(7));
+        assert_eq!(&t.as_slice()[4..8], table.row(9));
+    }
+
+    #[test]
+    fn gather_position_out_of_range_errors() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let g = EmbeddingGather::new(table, GatherMode::Position(5), &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 2], vec![2])));
+        assert!(g.run(&mut ctx, &[&ids]).is_err());
+    }
+
+    #[test]
+    fn gather_full_sequence_layout() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(10, 3, 10, &mut ctx, &mut init);
+        let g = EmbeddingGather::new(Arc::clone(&table), GatherMode::FullSequence, &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 2, 3, 4], vec![2, 2])));
+        let out = g.execute(&mut ctx, "g", &[&ids]).unwrap();
+        let t = out.as_dense().unwrap();
+        assert_eq!(t.dims(), &[2, 6]);
+        assert_eq!(&t.as_slice()[3..6], table.row(2));
+    }
+
+    #[test]
+    fn gather_full_sequence_requires_uniform_lengths() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(10, 3, 10, &mut ctx, &mut init);
+        let g = EmbeddingGather::new(table, GatherMode::FullSequence, &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 2, 3], vec![2, 1])));
+        assert!(g.run(&mut ctx, &[&ids]).is_err());
+    }
+}

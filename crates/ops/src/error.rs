@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+use drec_tensor::TensorError;
+
+/// Error type for operator construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The operator received the wrong number of inputs.
+    ArityMismatch {
+        /// Operator type name.
+        op: &'static str,
+        /// Number of inputs required.
+        expected: usize,
+        /// Number of inputs provided.
+        actual: usize,
+    },
+    /// The operator received a dense tensor where ids were expected (or
+    /// vice versa).
+    WrongValueKind {
+        /// Operator type name.
+        op: &'static str,
+        /// Description of what was expected (e.g. `"dense"`).
+        expected: &'static str,
+    },
+    /// Input shapes are invalid for this operator configuration.
+    InvalidInput {
+        /// Operator type name.
+        op: &'static str,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::Tensor(e) => write!(f, "tensor error: {e}"),
+            OpError::ArityMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} expects {expected} inputs, got {actual}"),
+            OpError::WrongValueKind { op, expected } => {
+                write!(f, "{op} expects {expected} input values")
+            }
+            OpError::InvalidInput { op, message } => write!(f, "{op}: {message}"),
+        }
+    }
+}
+
+impl Error for OpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OpError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for OpError {
+    fn from(e: TensorError) -> Self {
+        OpError::Tensor(e)
+    }
+}

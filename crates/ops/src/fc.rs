@@ -1,0 +1,225 @@
+use drec_tensor::{ParamInit, Tensor};
+use drec_trace::{BranchProfile, CodeFootprint, CodeRegion, WorkVector};
+
+use crate::op::check_arity;
+use crate::{kind_cost, ExecContext, OpError, OpKind, Operator, Result, Value};
+
+/// Number of input rows processed per weight-streaming block in the
+/// simulated GEMM kernel. Each block re-reads the full weight matrix, which
+/// is what makes large FC stacks L2/L3/DRAM-sensitive at large batch.
+const GEMM_BLOCK_ROWS: usize = 32;
+
+/// Fully-connected layer: `Y = X·Wᵀ + b` (Caffe2 `FC`).
+///
+/// Weights are stored `[out_features, in_features]`, matching Caffe2's
+/// layout.
+#[derive(Debug)]
+pub struct FullyConnected {
+    weights: Tensor,
+    bias: Tensor,
+    w_addr: u64,
+    b_addr: u64,
+    dispatch: CodeRegion,
+    kernel: CodeRegion,
+}
+
+impl FullyConnected {
+    /// Creates a layer with Xavier-initialised weights.
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        ctx: &mut ExecContext,
+        init: &mut ParamInit,
+    ) -> Self {
+        let weights = init.xavier(&[out_features, in_features], in_features, out_features);
+        let bias = init.uniform(&[out_features], -0.01, 0.01);
+        let w_addr = ctx.alloc_param((out_features * in_features * 4) as u64);
+        let b_addr = ctx.alloc_param((out_features * 4) as u64);
+        FullyConnected {
+            weights,
+            bias,
+            w_addr,
+            b_addr,
+            dispatch: ctx.alloc_dispatch(OpKind::Fc),
+            kernel: ctx.kernel_region(OpKind::Fc),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weights.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weights.dims()[0]
+    }
+}
+
+impl Operator for FullyConnected {
+    fn kind(&self) -> OpKind {
+        OpKind::Fc
+    }
+
+    fn param_bytes(&self) -> u64 {
+        ((self.weights.numel() + self.bias.numel()) * 4) as u64
+    }
+
+    fn run(&self, ctx: &mut ExecContext, inputs: &[&Value]) -> Result<Value> {
+        check_arity("FC", inputs, 1)?;
+        let x = inputs[0].dense_ref("FC")?;
+        let (batch, in_f) = x.shape().as_matrix()?;
+        if in_f != self.in_features() {
+            return Err(OpError::InvalidInput {
+                op: "FC",
+                message: format!(
+                    "input features {in_f} != layer in_features {}",
+                    self.in_features()
+                ),
+            });
+        }
+        let out_f = self.out_features();
+
+        // Functional compute.
+        let mut y = x.matmul_transposed(&self.weights)?;
+        for r in 0..batch {
+            let row = &mut y.as_mut_slice()[r * out_f..(r + 1) * out_f];
+            for (v, b) in row.iter_mut().zip(self.bias.as_slice()) {
+                *v += b;
+            }
+        }
+        let out_addr = ctx.alloc_activation((batch * out_f * 4) as u64);
+
+        // Trace emission.
+        if ctx.tracing_enabled() {
+            let w_bytes = (self.weights.numel() * 4) as u64;
+            let blocks = batch.div_ceil(GEMM_BLOCK_ROWS) as u64;
+            let est_lines = (batch * in_f * 4) as u64 / 64
+                + blocks * w_bytes / 64
+                + (batch * out_f * 4) as u64 / 64
+                + 2;
+            ctx.reserve_mem_events(est_lines.max(4));
+            ctx.record_read(inputs[0].addr, (batch * in_f * 4) as u64);
+            for _ in 0..blocks {
+                ctx.record_read(self.w_addr, w_bytes);
+            }
+            ctx.record_read(self.b_addr, (out_f * 4) as u64);
+            ctx.record_write(out_addr, (batch * out_f * 4) as u64);
+
+            let macs = (batch * in_f * out_f) as f64;
+            // Skinny GEMMs (fewer rows than the microkernel's register
+            // tile) fall off the fully vectorized fast path.
+            let vectorizable = (0.55 + 0.027 * batch as f64).min(0.98);
+            ctx.add_work(WorkVector {
+                fma_flops: 2.0 * macs,
+                other_flops: (batch * out_f) as f64,
+                int_ops: macs / 64.0,
+                contig_load_elems: (batch * in_f) as f64
+                    + blocks as f64 * self.weights.numel() as f64
+                    + out_f as f64,
+                contig_store_elems: (batch * out_f) as f64,
+                gather_rows: 0.0,
+                gather_row_bytes: 0.0,
+                vectorizable,
+            });
+            let elems_per_iter = kind_cost(OpKind::Fc).elems_per_iter;
+            let iterations = macs / elems_per_iter;
+            ctx.add_branches(BranchProfile {
+                loop_branches: iterations + (batch * out_f) as f64 / elems_per_iter,
+                data_branches: 0.0,
+                data_taken_rate: 0.0,
+                indirect_branches: 4.0,
+            });
+            ctx.set_code(CodeFootprint {
+                dispatch: self.dispatch,
+                kernel: self.kernel,
+                hot_bytes: kind_cost(OpKind::Fc).hot_loop_bytes,
+                invocations: 1,
+                iterations,
+            });
+        }
+
+        let mut out = Value::dense(y);
+        out.addr = out_addr;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ExecContext, ParamInit) {
+        (ExecContext::with_tracing(1 << 16), ParamInit::new(42))
+    }
+
+    #[test]
+    fn fc_computes_affine_transform() {
+        let (mut ctx, mut init) = setup();
+        let fc = FullyConnected::new(3, 2, &mut ctx, &mut init);
+        let x = ctx.external_input(Value::dense(
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]).unwrap(),
+        ));
+        let y = fc.execute(&mut ctx, "fc", &[&x]).unwrap();
+        let yt = y.as_dense().unwrap();
+        assert_eq!(yt.dims(), &[2, 2]);
+        // Row 0 = W[:,0] + b; row 1 = W[:,1] + b.
+        for j in 0..2 {
+            let expected0 = fc.weights.get(&[j, 0]).unwrap() + fc.bias.get(&[j]).unwrap();
+            assert!((yt.get(&[0, j]).unwrap() - expected0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fc_rejects_wrong_width() {
+        let (mut ctx, mut init) = setup();
+        let fc = FullyConnected::new(3, 2, &mut ctx, &mut init);
+        let x = ctx.external_input(Value::dense(Tensor::zeros(&[2, 4])));
+        assert!(fc.run(&mut ctx, &[&x]).is_err());
+    }
+
+    #[test]
+    fn fc_rejects_ids_input() {
+        let (mut ctx, mut init) = setup();
+        let fc = FullyConnected::new(3, 2, &mut ctx, &mut init);
+        let ids = ctx.external_input(Value::ids(crate::IdList::new(vec![1], vec![1])));
+        assert!(fc.run(&mut ctx, &[&ids]).is_err());
+    }
+
+    #[test]
+    fn fc_trace_has_matmul_work() {
+        let (mut ctx, mut init) = setup();
+        let fc = FullyConnected::new(8, 4, &mut ctx, &mut init);
+        let x = ctx.external_input(Value::dense(Tensor::zeros(&[2, 8])));
+        fc.execute(&mut ctx, "fc", &[&x]).unwrap();
+        let run = ctx.take_run_trace(2, 0);
+        assert_eq!(run.ops.len(), 1);
+        let t = &run.ops[0];
+        assert_eq!(t.op_type, "FC");
+        assert_eq!(t.work.fma_flops, 2.0 * 2.0 * 8.0 * 4.0);
+        assert!(t.mem.total_events() > 0);
+        assert!(!t.code.is_empty());
+        assert_eq!(t.work.gather_rows, 0.0);
+    }
+
+    #[test]
+    fn fc_param_bytes() {
+        let (mut ctx, mut init) = setup();
+        let fc = FullyConnected::new(8, 4, &mut ctx, &mut init);
+        assert_eq!(fc.param_bytes(), (8 * 4 + 4) * 4);
+    }
+
+    #[test]
+    fn fc_weight_rereads_scale_with_batch() {
+        let (mut ctx, mut init) = setup();
+        let fc = FullyConnected::new(4, 4, &mut ctx, &mut init);
+        let small = ctx.external_input(Value::dense(Tensor::zeros(&[4, 4])));
+        fc.execute(&mut ctx, "s", &[&small]).unwrap();
+        let big = ctx.external_input(Value::dense(Tensor::zeros(&[128, 4])));
+        fc.execute(&mut ctx, "b", &[&big]).unwrap();
+        let run = ctx.take_run_trace(1, 0);
+        let small_loads = run.ops[0].work.contig_load_elems;
+        let big_loads = run.ops[1].work.contig_load_elems;
+        assert!(big_loads > small_loads * 4.0);
+    }
+}

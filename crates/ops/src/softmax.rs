@@ -1,0 +1,113 @@
+use drec_trace::{CodeRegion, WorkVector};
+
+use crate::elementwise::{emit_stream, StreamEmit};
+use crate::op::check_arity;
+use crate::{ExecContext, OpKind, Operator, Result, Value};
+
+/// Row-wise softmax (Caffe2 `Softmax`), numerically stabilised by max
+/// subtraction.
+#[derive(Debug)]
+pub struct Softmax {
+    dispatch: CodeRegion,
+    kernel: CodeRegion,
+}
+
+impl Softmax {
+    /// Creates a softmax op.
+    pub fn new(ctx: &mut ExecContext) -> Self {
+        Softmax {
+            dispatch: ctx.alloc_dispatch(OpKind::Softmax),
+            kernel: ctx.kernel_region(OpKind::Softmax),
+        }
+    }
+}
+
+impl Operator for Softmax {
+    fn kind(&self) -> OpKind {
+        OpKind::Softmax
+    }
+
+    fn run(&self, ctx: &mut ExecContext, inputs: &[&Value]) -> Result<Value> {
+        check_arity("Softmax", inputs, 1)?;
+        let x = inputs[0].dense_ref("Softmax")?;
+        let (rows, cols) = x.shape().as_matrix()?;
+        let mut y = x.clone();
+        for r in 0..rows {
+            let row = &mut y.as_mut_slice()[r * cols..(r + 1) * cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                denom += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= denom;
+            }
+        }
+        let bytes = (y.numel() * 4) as u64;
+        let out_addr = ctx.alloc_activation(bytes);
+        if ctx.tracing_enabled() {
+            let n = y.numel() as f64;
+            emit_stream(
+                ctx,
+                StreamEmit {
+                    kind: OpKind::Softmax,
+                    dispatch: self.dispatch,
+                    kernel: self.kernel,
+                    reads: &[(inputs[0].addr, bytes)],
+                    writes: &[(out_addr, bytes)],
+                    work: WorkVector {
+                        fma_flops: 0.0,
+                        // max + exp(10) + sum + div per element, 3 passes.
+                        other_flops: n * 13.0,
+                        int_ops: n / 8.0,
+                        contig_load_elems: n * 3.0,
+                        contig_store_elems: n * 2.0,
+                        gather_rows: 0.0,
+                        gather_row_bytes: 0.0,
+                        vectorizable: 0.85,
+                    },
+                },
+            );
+        }
+        let mut v = Value::dense(y);
+        v.addr = out_addr;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drec_tensor::Tensor;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let mut ctx = ExecContext::new();
+        let sm = Softmax::new(&mut ctx);
+        let x = ctx.external_input(Value::dense(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap(),
+        ));
+        let y = sm.execute(&mut ctx, "sm", &[&x]).unwrap();
+        let t = y.as_dense().unwrap();
+        for r in 0..2 {
+            let sum: f32 = t.row(r).unwrap().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Monotone in the inputs.
+        assert!(t.get(&[0, 2]).unwrap() > t.get(&[0, 0]).unwrap());
+    }
+
+    #[test]
+    fn stable_for_large_inputs() {
+        let mut ctx = ExecContext::new();
+        let sm = Softmax::new(&mut ctx);
+        let x = ctx.external_input(Value::dense(
+            Tensor::from_vec(vec![1000.0, 1000.0], &[1, 2]).unwrap(),
+        ));
+        let y = sm.execute(&mut ctx, "sm", &[&x]).unwrap();
+        let s = y.as_dense().unwrap().as_slice().to_vec();
+        assert!((s[0] - 0.5).abs() < 1e-6);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+}

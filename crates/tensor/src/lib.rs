@@ -1,0 +1,38 @@
+//! Dense `f32` tensor substrate for the DeepRec characterization suite.
+//!
+//! This crate provides the numerical foundation that the operator library
+//! (`drec-ops`) is built on: a row-major dense [`Tensor`] type, shape
+//! arithmetic, basic linear algebra (tiled matrix multiplication), and
+//! deterministic parameter initialisation.
+//!
+//! The tensor type is deliberately small and self-contained — the paper's
+//! characterization depends on *what work the operators perform*, not on a
+//! highly tuned BLAS, so clarity and testability win over peak throughput.
+//!
+//! # Example
+//!
+//! ```
+//! use drec_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), drec_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod init;
+mod linalg;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use init::ParamInit;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

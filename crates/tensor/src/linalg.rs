@@ -1,0 +1,209 @@
+//! Linear-algebra kernels on [`Tensor`]: matrix multiply and reductions.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Tile edge used by the blocked matmul kernel (elements).
+const TILE: usize = 32;
+
+impl Tensor {
+    /// Matrix product `self · other` for rank-2 (or rank-1-as-row) tensors.
+    ///
+    /// Uses a cache-blocked i-k-j loop order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions
+    /// disagree, or a rank error for tensors that are not matrices.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.shape().as_matrix()?;
+        let (k2, n) = other.shape().as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i0 in (0..m).step_by(TILE) {
+            let i1 = (i0 + TILE).min(m);
+            for k0 in (0..k).step_by(TILE) {
+                let k1 = (k0 + TILE).min(k);
+                for i in i0..i1 {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let orow = &mut out[i * n..(i + 1) * n];
+                    for kk in k0..k1 {
+                        let av = arow[kk];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n..(kk + 1) * n];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self · otherᵀ` — the natural layout for fully-connected layers whose
+    /// weights are stored `[out_features, in_features]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the feature dimensions
+    /// disagree.
+    pub fn matmul_transposed(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.shape().as_matrix()?;
+        let (n, k2) = other.shape().as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transposed",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Dot product of two rank-1 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if lengths differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.dims() != other.dims() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Maximum absolute element (0.0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_transposed_matches_matmul() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap();
+        let w = Tensor::from_vec((0..8).map(|v| (v as f32) * 0.5).collect(), &[2, 4]).unwrap();
+        // Build wᵀ explicitly and compare.
+        let mut wt = Tensor::zeros(&[4, 2]);
+        for r in 0..2 {
+            for c in 0..4 {
+                wt.set(&[c, r], w.get(&[r, c]).unwrap()).unwrap();
+            }
+        }
+        let direct = a.matmul(&wt).unwrap();
+        let fused = a.matmul_transposed(&w).unwrap();
+        for (x, y) in direct.as_slice().iter().zip(fused.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_blocked_matches_naive_on_odd_sizes() {
+        // Sizes straddling the tile boundary exercise the blocking logic.
+        let m = 33;
+        let k = 65;
+        let n = 17;
+        let a = Tensor::from_vec(
+            (0..m * k).map(|v| ((v % 7) as f32) - 3.0).collect(),
+            &[m, k],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..k * n).map(|v| ((v % 5) as f32) - 2.0).collect(),
+            &[k, n],
+        )
+        .unwrap();
+        let c = a.matmul(&b).unwrap();
+        // Naive reference.
+        for i in [0, 15, 32] {
+            for j in [0, 9, 16] {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(&[i, kk]).unwrap() * b.get(&[kk, j]).unwrap();
+                }
+                assert!((c.get(&[i, j]).unwrap() - acc).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_sum() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.max_abs(), 3.0);
+    }
+
+    #[test]
+    fn vector_times_matrix() {
+        let v = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let m = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let r = v.matmul(&m).unwrap();
+        assert_eq!(r.dims(), &[1, 2]);
+        assert_eq!(r.as_slice(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the tensor substrate.
+
+use drec_tensor::{ParamInit, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    ParamInit::new(seed).uniform(&[rows, cols], -2.0, 2.0)
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_is_noop((m, k, _) in small_dims(), seed in 0u64..1000) {
+        let a = tensor(m, k, seed);
+        let i = Tensor::eye(k);
+        let b = a.matmul(&i).unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_is_left_distributive((m, k, n) in small_dims(), seed in 0u64..1000) {
+        let a = tensor(m, k, seed);
+        let b = tensor(m, k, seed + 1);
+        let c = tensor(k, n, seed + 2);
+        let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose(
+        (m, k, n) in small_dims(),
+        seed in 0u64..1000,
+    ) {
+        let a = tensor(m, k, seed);
+        let w = tensor(n, k, seed + 7);
+        // Build wᵀ explicitly.
+        let mut wt = Tensor::zeros(&[k, n]);
+        for r in 0..n {
+            for c in 0..k {
+                wt.set(&[c, r], w.get(&[r, c]).unwrap()).unwrap();
+            }
+        }
+        let direct = a.matmul(&wt).unwrap();
+        let fused = a.matmul_transposed(&w).unwrap();
+        for (x, y) in direct.as_slice().iter().zip(fused.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_elements((m, k, _) in small_dims(), seed in 0u64..1000) {
+        let a = tensor(m, k, seed);
+        let r = a.reshape(&[k * m]).unwrap();
+        prop_assert_eq!(a.as_slice(), r.as_slice());
+        let back = r.reshape(&[m, k]).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn dot_is_commutative(len in 1usize..64, seed in 0u64..1000) {
+        let a = ParamInit::new(seed).uniform(&[len], -1.0, 1.0);
+        let b = ParamInit::new(seed + 1).uniform(&[len], -1.0, 1.0);
+        let ab = a.dot(&b).unwrap();
+        let ba = b.dot(&a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn map_then_sum_matches_manual(len in 1usize..64, seed in 0u64..1000) {
+        let a = ParamInit::new(seed).uniform(&[len], -1.0, 1.0);
+        let doubled = a.map(|v| 2.0 * v);
+        prop_assert!((doubled.sum() - 2.0 * a.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn row_views_tile_the_matrix((m, k, _) in small_dims(), seed in 0u64..1000) {
+        let a = tensor(m, k, seed);
+        let mut collected = Vec::new();
+        for r in 0..m {
+            collected.extend_from_slice(a.row(r).unwrap());
+        }
+        prop_assert_eq!(collected.as_slice(), a.as_slice());
+    }
+}

@@ -1,0 +1,186 @@
+/// ISA-independent description of the arithmetic and memory work an operator
+/// performed.
+///
+/// Counts are in *scalar element* units: one `fma_flops` unit is one
+/// multiply-accumulate on one `f32`. The CPU model converts these into
+/// platform-specific instruction counts using the platform's SIMD width and
+/// the `vectorizable` fraction — that conversion is what makes Cascade
+/// Lake's AVX-512 retire fewer instructions than Broadwell's AVX2 for the
+/// same work (paper Fig 11).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkVector {
+    /// Multiply-accumulate flops (2 flops per FMA counted as 2).
+    pub fma_flops: f64,
+    /// Other floating-point work (adds, exp, sigmoid, division…).
+    pub other_flops: f64,
+    /// Integer/address arithmetic operations.
+    pub int_ops: f64,
+    /// Elements loaded with unit-stride (prefetchable) access.
+    pub contig_load_elems: f64,
+    /// Elements stored with unit-stride access.
+    pub contig_store_elems: f64,
+    /// Number of irregularly addressed rows gathered (embedding lookups).
+    pub gather_rows: f64,
+    /// Average bytes per gathered row.
+    pub gather_row_bytes: f64,
+    /// Fraction of fp work that compilers/frameworks vectorize, in `[0, 1]`.
+    pub vectorizable: f64,
+}
+
+impl WorkVector {
+    /// Total floating-point operations.
+    pub fn total_flops(&self) -> f64 {
+        self.fma_flops + self.other_flops
+    }
+
+    /// Total bytes moved by gathers.
+    pub fn gather_bytes(&self) -> f64 {
+        self.gather_rows * self.gather_row_bytes
+    }
+
+    /// Element-wise sum of two work vectors.
+    ///
+    /// `vectorizable` is combined as an fp-work-weighted average so that
+    /// aggregating ops preserves the overall vector fraction.
+    pub fn combine(&self, other: &WorkVector) -> WorkVector {
+        let fp_a = self.total_flops();
+        let fp_b = other.total_flops();
+        let vectorizable = if fp_a + fp_b > 0.0 {
+            (self.vectorizable * fp_a + other.vectorizable * fp_b) / (fp_a + fp_b)
+        } else {
+            0.0
+        };
+        let gather_rows = self.gather_rows + other.gather_rows;
+        let gather_row_bytes = if gather_rows > 0.0 {
+            (self.gather_bytes() + other.gather_bytes()) / gather_rows
+        } else {
+            0.0
+        };
+        WorkVector {
+            fma_flops: self.fma_flops + other.fma_flops,
+            other_flops: self.other_flops + other.other_flops,
+            int_ops: self.int_ops + other.int_ops,
+            contig_load_elems: self.contig_load_elems + other.contig_load_elems,
+            contig_store_elems: self.contig_store_elems + other.contig_store_elems,
+            gather_rows,
+            gather_row_bytes,
+            vectorizable,
+        }
+    }
+}
+
+/// Branch counts split by predictability class.
+///
+/// Loop back-edges are near-perfectly predictable; data-dependent branches
+/// (e.g. the per-index bounds/validity checks inside sparse gathers) are
+/// what drives the bad-speculation slots the paper observes on
+/// embedding-heavy models (Fig 8, Fig 15).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BranchProfile {
+    /// Highly predictable loop back-edges.
+    pub loop_branches: f64,
+    /// Data-dependent conditional branches.
+    pub data_branches: f64,
+    /// Probability that a data-dependent branch is taken, in `[0, 1]`.
+    pub data_taken_rate: f64,
+    /// Calls/returns and indirect jumps (framework dispatch).
+    pub indirect_branches: f64,
+}
+
+impl BranchProfile {
+    /// Total branches of all classes.
+    pub fn total(&self) -> f64 {
+        self.loop_branches + self.data_branches + self.indirect_branches
+    }
+
+    /// Element-wise sum, with taken-rate averaged by data-branch weight.
+    pub fn combine(&self, other: &BranchProfile) -> BranchProfile {
+        let data = self.data_branches + other.data_branches;
+        let data_taken_rate = if data > 0.0 {
+            (self.data_taken_rate * self.data_branches
+                + other.data_taken_rate * other.data_branches)
+                / data
+        } else {
+            0.0
+        };
+        BranchProfile {
+            loop_branches: self.loop_branches + other.loop_branches,
+            data_branches: data,
+            data_taken_rate,
+            indirect_branches: self.indirect_branches + other.indirect_branches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_sums_counts() {
+        let a = WorkVector {
+            fma_flops: 10.0,
+            other_flops: 2.0,
+            vectorizable: 1.0,
+            ..WorkVector::default()
+        };
+        let b = WorkVector {
+            fma_flops: 2.0,
+            other_flops: 2.0,
+            vectorizable: 0.0,
+            ..WorkVector::default()
+        };
+        let c = a.combine(&b);
+        assert_eq!(c.total_flops(), 16.0);
+        // 12 of 16 fp units vectorizable.
+        assert!((c.vectorizable - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_gather_row_bytes_weighted() {
+        let a = WorkVector {
+            gather_rows: 10.0,
+            gather_row_bytes: 256.0,
+            ..WorkVector::default()
+        };
+        let b = WorkVector {
+            gather_rows: 30.0,
+            gather_row_bytes: 128.0,
+            ..WorkVector::default()
+        };
+        let c = a.combine(&b);
+        assert_eq!(c.gather_rows, 40.0);
+        assert!((c.gather_bytes() - (10.0 * 256.0 + 30.0 * 128.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combine_empty_is_identity() {
+        let a = WorkVector {
+            fma_flops: 5.0,
+            vectorizable: 0.5,
+            ..WorkVector::default()
+        };
+        let c = a.combine(&WorkVector::default());
+        assert_eq!(c.fma_flops, 5.0);
+        assert!((c.vectorizable - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_combine() {
+        let a = BranchProfile {
+            loop_branches: 100.0,
+            data_branches: 10.0,
+            data_taken_rate: 0.5,
+            indirect_branches: 1.0,
+        };
+        let b = BranchProfile {
+            loop_branches: 50.0,
+            data_branches: 30.0,
+            data_taken_rate: 0.9,
+            indirect_branches: 3.0,
+        };
+        let c = a.combine(&b);
+        assert_eq!(c.total(), 194.0);
+        assert!((c.data_taken_rate - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the microarchitecture simulators.
+
+use drec_trace::{AccessKind, BranchProfile, SampledMemTrace};
+use drec_uarch::{
+    BranchSynth, CacheConfig, CacheHierarchy, CacheSim, GshareConfig, HierarchyConfig,
+    InclusionPolicy, PortConfig, PortScheduler, UopMix,
+};
+use proptest::prelude::*;
+
+fn cache_cfg(kb: usize, ways: usize) -> CacheConfig {
+    CacheConfig {
+        bytes: (kb * 1024) as u64,
+        ways,
+        line: 64,
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_misses_never_exceed_accesses(
+        addrs in prop::collection::vec(0u64..(1 << 24), 1..500),
+    ) {
+        let mut sim = CacheSim::new(cache_cfg(16, 4));
+        for a in addrs {
+            sim.access(a, 1.0);
+        }
+        prop_assert!(sim.misses() <= sim.accesses());
+        prop_assert!(sim.miss_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn resident_working_set_hits_on_second_pass(lines in 1u64..32) {
+        // `lines` contiguous lines fit easily in a 16 KiB cache.
+        let mut sim = CacheSim::new(cache_cfg(16, 4));
+        for l in 0..lines {
+            sim.access(l * 64, 1.0);
+        }
+        let misses_after_first = sim.misses();
+        for l in 0..lines {
+            prop_assert!(sim.access(l * 64, 1.0), "line {l} should hit");
+        }
+        prop_assert_eq!(sim.misses(), misses_after_first);
+    }
+
+    #[test]
+    fn hierarchy_levels_partition_accesses(
+        addrs in prop::collection::vec(0u64..(1 << 26), 1..400),
+    ) {
+        let mut h = CacheHierarchy::new(HierarchyConfig {
+            l1: cache_cfg(4, 4),
+            l2: cache_cfg(16, 8),
+            l3: cache_cfg(128, 16),
+            set_sample_ratio: 1,
+            policy: InclusionPolicy::Inclusive,
+        });
+        let mut t = SampledMemTrace::with_period(1);
+        for a in &addrs {
+            t.record(*a, 64, AccessKind::Read);
+        }
+        let stats = h.run_trace(&t);
+        let sum = stats.l1_hits + stats.l2_hits + stats.l3_hits + stats.dram_accesses;
+        prop_assert!((sum - stats.accesses).abs() < 1e-9);
+        prop_assert_eq!(stats.accesses as usize, addrs.len());
+    }
+
+    #[test]
+    fn branch_stats_are_bounded(
+        loops in 0.0f64..100_000.0,
+        data in 0.0f64..100_000.0,
+        rate in 0.0f64..1.0,
+    ) {
+        let mut synth = BranchSynth::new(GshareConfig {
+            table_bits: 12,
+            history_bits: 10,
+            bimodal_fallback: false,
+        });
+        let stats = synth.run_op(
+            &BranchProfile {
+                loop_branches: loops,
+                data_branches: data,
+                data_taken_rate: rate,
+                indirect_branches: 8.0,
+            },
+            1,
+        );
+        prop_assert!(stats.mispredicts >= 0.0);
+        prop_assert!(stats.mispredicts <= stats.branches + 1e-9);
+    }
+
+    #[test]
+    fn port_cycles_respect_throughput_bounds(
+        scalar in 0.0f64..50_000.0,
+        vec in 0.0f64..50_000.0,
+        loads in 0.0f64..50_000.0,
+    ) {
+        let cfg = PortConfig {
+            issue_width: 4,
+            alu_ports: 4,
+            vec_ports: 2,
+            load_ports: 2,
+            store_ports: 1,
+            branch_ports: 1,
+            gather_load_cycles: 4.0,
+            total_units: 8,
+        };
+        let sched = PortScheduler::new(cfg);
+        let mix = UopMix {
+            scalar_int: scalar,
+            vec_fp: vec,
+            loads,
+            ..UopMix::default()
+        };
+        let stats = sched.run_op(&mix);
+        let total = mix.total();
+        if total > 1_000.0 {
+            // Lower bound: issue width; per-class port limits.
+            let min_cycles = (total / 4.0).max(vec / 2.0).max(loads / 2.0).max(scalar / 4.0);
+            prop_assert!(stats.cycles >= min_cycles * 0.85, "{} < {}", stats.cycles, min_cycles);
+            // Upper bound: every μop issued alone.
+            prop_assert!(stats.cycles <= total * 1.2 + 16.0);
+        }
+    }
+
+    #[test]
+    fn fu_histogram_accounts_all_cycles(
+        scalar in 100.0f64..20_000.0,
+        vec in 100.0f64..20_000.0,
+    ) {
+        let cfg = PortConfig {
+            issue_width: 4,
+            alu_ports: 4,
+            vec_ports: 2,
+            load_ports: 2,
+            store_ports: 1,
+            branch_ports: 1,
+            gather_load_cycles: 4.0,
+            total_units: 8,
+        };
+        let sched = PortScheduler::new(cfg);
+        let stats = sched.run_op(&UopMix {
+            scalar_int: scalar,
+            vec_fp: vec,
+            ..UopMix::default()
+        });
+        let hist_sum: f64 = stats.busy_hist.iter().sum();
+        prop_assert!((hist_sum - stats.cycles).abs() / stats.cycles < 1e-6);
+    }
+}

@@ -1,0 +1,104 @@
+use drec_tensor::ParamInit;
+
+/// Popularity distribution for categorical id sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CategoricalDist {
+    /// Every id equally likely — maximally irregular access, the paper's
+    /// baseline assumption for untrained-model characterization.
+    Uniform,
+    /// Zipf power law with exponent `s > 0` (`s ≈ 0.8–1.2` matches
+    /// published production embedding traces). Smaller ids are hotter.
+    Zipf {
+        /// Skew exponent.
+        s: f64,
+    },
+}
+
+impl CategoricalDist {
+    /// Samples one id from `[0, space)`.
+    ///
+    /// Zipf sampling uses inversion of the continuous truncated-Pareto
+    /// approximation of the discrete CDF, which is accurate to within a
+    /// few percent for `space ≥ 100` and requires no per-table state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0`.
+    pub fn sample(&self, rng: &mut ParamInit, space: usize) -> u32 {
+        assert!(space > 0, "id space must be non-empty");
+        match *self {
+            CategoricalDist::Uniform => rng.next_index(space) as u32,
+            CategoricalDist::Zipf { s } => {
+                let n = space as f64;
+                let u = f64::from(rng.next_f32()).clamp(1e-9, 1.0 - 1e-9);
+                let x = if (s - 1.0).abs() < 1e-6 {
+                    // s = 1: inverse of log CDF.
+                    (n + 1.0).powf(u)
+                } else {
+                    let one_minus_s = 1.0 - s;
+                    ((u * ((n + 1.0).powf(one_minus_s) - 1.0)) + 1.0).powf(1.0 / one_minus_s)
+                };
+                ((x.floor() as usize).clamp(1, space) - 1) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head_mass(dist: CategoricalDist, space: usize, samples: usize, head: usize) -> f64 {
+        let mut rng = ParamInit::new(99);
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            if (dist.sample(&mut rng, space) as usize) < head {
+                hits += 1;
+            }
+        }
+        hits as f64 / samples as f64
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_spreads() {
+        let mass = head_mass(CategoricalDist::Uniform, 1000, 20_000, 10);
+        // Head of 1% should get about 1% of uniform mass.
+        assert!(mass < 0.03, "uniform head mass {mass}");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_head() {
+        let mass = head_mass(CategoricalDist::Zipf { s: 1.0 }, 1000, 20_000, 10);
+        assert!(mass > 0.2, "zipf head mass {mass} should be heavy");
+    }
+
+    #[test]
+    fn zipf_more_skew_with_larger_s() {
+        let light = head_mass(CategoricalDist::Zipf { s: 0.6 }, 10_000, 20_000, 100);
+        let heavy = head_mass(CategoricalDist::Zipf { s: 1.4 }, 10_000, 20_000, 100);
+        assert!(heavy > light);
+    }
+
+    #[test]
+    fn samples_always_in_range() {
+        let mut rng = ParamInit::new(5);
+        for dist in [
+            CategoricalDist::Uniform,
+            CategoricalDist::Zipf { s: 0.9 },
+            CategoricalDist::Zipf { s: 1.0 },
+        ] {
+            for space in [1usize, 2, 17, 1_000] {
+                for _ in 0..500 {
+                    assert!((dist.sample(&mut rng, space) as usize) < space);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "id space")]
+    fn empty_space_panics() {
+        let mut rng = ParamInit::new(1);
+        CategoricalDist::Uniform.sample(&mut rng, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic inference query generation.
+//!
+//! The paper's study runs untrained models on synthetic inputs (it
+//! characterises inference *compute*, not accuracy), so the workload
+//! substrate only needs to produce spec-conforming batches with realistic
+//! categorical access distributions:
+//!
+//! * [`CategoricalDist::Uniform`] — every table row equally likely; the
+//!   worst case for caches and the default for the paper-style sweeps,
+//! * [`CategoricalDist::Zipf`] — power-law popularity as seen in
+//!   production embedding traces; used by the locality ablation bench.
+//!
+//! # Example
+//!
+//! ```
+//! use drec_models::{ModelId, ModelScale};
+//! use drec_workload::QueryGen;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut model = ModelId::Rm1.build(ModelScale::Tiny, 7)?;
+//! let mut gen = QueryGen::uniform(42);
+//! let batch = gen.batch(model.spec(), 4);
+//! let outputs = model.run(batch)?;
+//! assert_eq!(outputs[0].as_dense()?.dims()[0], 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod dist;
+mod gen;
+
+pub use dist::CategoricalDist;
+pub use gen::QueryGen;

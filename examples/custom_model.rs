@@ -1,0 +1,59 @@
+//! Characterize *your* model: sweep a custom DLRM's embedding intensity
+//! and find its deployment crossover.
+//!
+//! ```text
+//! cargo run --release --example custom_model
+//! ```
+
+use deeprec::analysis::Table;
+use deeprec::core::{CharacterizeOptions, Characterizer};
+use deeprec::hwsim::Platform;
+use deeprec::models::CustomDlrm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let characterizer = Characterizer::new(CharacterizeOptions::paper());
+    let batch = 32;
+    let mut table = Table::new(vec![
+        "Tables".into(),
+        "Lookups".into(),
+        "Dominant op (BDW)".into(),
+        "BDW".into(),
+        "T4".into(),
+        "Winner".into(),
+    ]);
+
+    for (tables, lookups) in [(4, 4), (8, 32), (16, 96)] {
+        let mut model = CustomDlrm::new("MyRM")
+            .dense_features(128)
+            .bottom_mlp(&[128, 64, 32])
+            .top_mlp(&[128, 64, 1])
+            .tables(tables, 500_000, 32)
+            .lookups_per_table(lookups)
+            .build(42)?;
+        let trace = characterizer.trace(&mut model, batch)?;
+        let bdw = characterizer.report_from_trace("MyRM", &trace, &Platform::broadwell());
+        let t4 = characterizer.report_from_trace("MyRM", &trace, &Platform::t4());
+        let winner = if bdw.latency_seconds < t4.latency_seconds {
+            "Broadwell"
+        } else {
+            "T4"
+        };
+        table.row(vec![
+            tables.to_string(),
+            lookups.to_string(),
+            bdw.breakdown.dominant().unwrap_or("-").to_string(),
+            format!("{:.3} ms", bdw.latency_seconds * 1e3),
+            format!("{:.3} ms", t4.latency_seconds * 1e3),
+            winner.to_string(),
+        ]);
+    }
+
+    println!("Custom DLRM sweep at batch {batch}:\n");
+    println!("{}", table.render());
+    println!("Growing the embedding side flips the dominant operator from FC");
+    println!("to SparseLengthsSum and moves the deployment crossover: at this");
+    println!("small batch the FC-light configuration is fastest on the CPU,");
+    println!("while gather-heavy variants overwhelm its TLB/DRAM path first —");
+    println!("the paper's analysis, applied to a point the paper never ran.");
+    Ok(())
+}

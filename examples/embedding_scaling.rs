@@ -1,0 +1,82 @@
+//! Embedding-intensity study: how lookups-per-table moves the bottleneck.
+//!
+//! Builds a custom DLRM-style model several times, scaling the number of
+//! lookups per embedding table, and watches the Broadwell TopDown profile
+//! shift from compute-bound toward memory/speculation-bound — the
+//! mechanism behind the paper's RM1 vs RM3 contrast.
+//!
+//! ```text
+//! cargo run --release --example embedding_scaling
+//! ```
+
+use deeprec::analysis::Table;
+use deeprec::graph::{execute_traced, GraphBuilder};
+use deeprec::hwsim::Platform;
+use deeprec::ops::{ExecContext, IdList, PairwiseDot, Value};
+use deeprec::tensor::ParamInit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = 64;
+    let mut table = Table::new(vec![
+        "Lookups/table".into(),
+        "Retiring".into(),
+        "Bad spec".into(),
+        "Backend mem".into(),
+        "Dominant op".into(),
+    ]);
+
+    for lookups in [4usize, 32, 128, 512] {
+        // A small DLRM: dense MLP + 4 embedding tables + interaction.
+        let mut ctx = ExecContext::with_tracing(1 << 16);
+        let mut init = ParamInit::new(7);
+        let mut b = GraphBuilder::new();
+        let dense = b.input("dense");
+        let (bottom, _) = b.mlp(&mut ctx, &mut init, "bot", dense, 64, &[64, 32], false)?;
+        let mut feats = vec![];
+        let mut id_inputs = vec![];
+        for t in 0..4 {
+            let ids = b.input(format!("ids{t}"));
+            id_inputs.push(ids);
+            let table_ =
+                deeprec::ops::EmbeddingTable::new(1_000_000, 32, 4096, &mut ctx, &mut init);
+            feats.push(b.sparse_lengths_sum(&mut ctx, &format!("emb{t}"), table_, ids)?);
+        }
+        feats.push(bottom);
+        let inter = b.add("interact", Box::new(PairwiseDot::new(&mut ctx)), &feats)?;
+        let cat = b.concat(&mut ctx, "cat", &[inter, bottom])?;
+        let (logit, _) = b.mlp(&mut ctx, &mut init, "top", cat, 10 + 32, &[64, 1], true)?;
+        let prob = b.sigmoid(&mut ctx, "prob", logit);
+        b.mark_output(prob);
+        let graph = b.finish();
+
+        // Generate inputs and trace one inference.
+        let mut rng = ParamInit::new(11);
+        let mut inputs = vec![Value::dense(rng.uniform(&[batch, 64], -1.0, 1.0))];
+        for _ in 0..4 {
+            let ids: Vec<u32> = (0..batch * lookups)
+                .map(|_| rng.next_index(1_000_000) as u32)
+                .collect();
+            inputs.push(Value::ids(IdList::new(ids, vec![lookups as u32; batch])));
+        }
+        let (_, trace) = execute_traced(&graph, &mut ctx, inputs, batch)?;
+
+        let report = Platform::broadwell().evaluate(&trace);
+        let cpu = report.cpu.expect("cpu");
+        let breakdown = deeprec::graph::Breakdown::from_entries(
+            cpu.op_seconds.iter().map(|(_, ty, s)| (ty.clone(), *s)),
+        );
+        table.row(vec![
+            lookups.to_string(),
+            format!("{:.1}%", cpu.topdown.retiring * 100.0),
+            format!("{:.1}%", cpu.topdown.bad_speculation * 100.0),
+            format!("{:.1}%", cpu.topdown.backend_memory * 100.0),
+            breakdown.dominant().unwrap_or("-").to_string(),
+        ]);
+    }
+
+    println!("Scaling lookups per table on a custom DLRM (Broadwell, batch {batch}):\n");
+    println!("{}", table.render());
+    println!("More lookups → SparseLengthsSum takes over and the pipeline");
+    println!("shifts from retiring toward memory and speculation stalls.");
+    Ok(())
+}

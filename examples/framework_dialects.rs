@@ -1,0 +1,30 @@
+//! Framework dialects: the same model viewed through Caffe2 and
+//! TensorFlow operator naming (paper Fig 7).
+//!
+//! ```text
+//! cargo run --release --example framework_dialects
+//! ```
+
+use deeprec::core::{CharacterizeOptions, Characterizer};
+use deeprec::graph::Framework;
+use deeprec::hwsim::Platform;
+use deeprec::models::{ModelId, ModelScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut model = ModelId::Rm2.build(ModelScale::Paper, 42)?;
+    let characterizer = Characterizer::new(CharacterizeOptions::paper());
+    let report = characterizer.characterize(&mut model, 64, &Platform::broadwell())?;
+
+    for (fw, label) in [
+        (Framework::Caffe2, "Caffe2"),
+        (Framework::TensorFlow, "TensorFlow"),
+    ] {
+        println!("\n{label} operator breakdown for RM2:");
+        for (op, share) in report.breakdown_in(fw).shares().into_iter().take(6) {
+            println!("  {op:<18} {:.1}%", share * 100.0);
+        }
+    }
+    println!("\nThe dominant work is the same under both dialects:");
+    println!("SparseLengthsSum in Caffe2 is ResourceGather + Sum in TensorFlow.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Platform shootout: where does each model run best?
+//!
+//! Sweeps two contrasting models (embedding-dominated RM2 and FC-dominated
+//! WnD) across batch sizes on all four Table II platforms and prints the
+//! crossover — the paper's core systems-level result (Fig 3/5).
+//!
+//! ```text
+//! cargo run --release --example platform_shootout
+//! ```
+
+use deeprec::analysis::Table;
+use deeprec::core::sweep::sweep;
+use deeprec::core::CharacterizeOptions;
+use deeprec::hwsim::Platform;
+use deeprec::models::{ModelId, ModelScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let models = [ModelId::Rm2, ModelId::Wnd];
+    let batches = [1, 16, 256, 4096];
+    let result = sweep(
+        &models,
+        &batches,
+        &Platform::all(),
+        ModelScale::Paper,
+        CharacterizeOptions::paper(),
+    )?;
+
+    for model in models {
+        let mut table = Table::new(vec![
+            "Batch".into(),
+            "Best platform".into(),
+            "Speedup vs Broadwell".into(),
+        ]);
+        for cell in result.optimal_grid("Broadwell") {
+            if cell.model == model {
+                table.row(vec![
+                    cell.batch.to_string(),
+                    cell.best_platform.clone(),
+                    format!("{:.2}x", cell.speedup),
+                ]);
+            }
+        }
+        println!("\n== {model} ==");
+        println!("{}", table.render());
+    }
+    println!("Embedding-dominated models keep CPUs competitive far longer than");
+    println!("FC-dominated ones — the optimum platform depends on the use case.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: characterize one recommendation model on one platform.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deeprec::core::{CharacterizeOptions, Characterizer};
+use deeprec::hwsim::Platform;
+use deeprec::models::{ModelId, ModelScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build DLRM-variant RM1 at the paper's published shape.
+    let mut model = ModelId::Rm1.build(ModelScale::Paper, 42)?;
+    println!(
+        "Built {} — {} embedding tables, {:.0} lookups/table, latent dim {}",
+        model.meta().name,
+        model.meta().num_tables,
+        model.meta().lookups_per_table,
+        model.meta().latent_dim,
+    );
+
+    // One traced inference at batch 64, evaluated on Broadwell.
+    let characterizer = Characterizer::new(CharacterizeOptions::paper());
+    let report = characterizer.characterize(&mut model, 64, &Platform::broadwell())?;
+
+    println!(
+        "\nModelled latency on {}: {:.3} ms",
+        report.platform,
+        report.latency_seconds * 1e3
+    );
+    println!("\nOperator breakdown (Caffe2 dialect):");
+    for (op, share) in report.breakdown.shares().into_iter().take(5) {
+        println!("  {op:<18} {:.1}%", share * 100.0);
+    }
+
+    let cpu = report.cpu.expect("Broadwell is a CPU platform");
+    let td = cpu.topdown;
+    println!("\nTopDown pipeline slots:");
+    println!("  retiring        {:.1}%", td.retiring * 100.0);
+    println!("  frontend        {:.1}%", td.frontend * 100.0);
+    println!("  bad speculation {:.1}%", td.bad_speculation * 100.0);
+    println!("  backend core    {:.1}%", td.backend_core * 100.0);
+    println!("  backend memory  {:.1}%", td.backend_memory * 100.0);
+    println!(
+        "\ni-cache MPKI {:.2}, branch MPKI {:.2}",
+        cpu.icache_mpki, cpu.branch_mpki
+    );
+    Ok(())
+}

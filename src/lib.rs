@@ -1,0 +1,43 @@
+//! # deeprec — Cross-Stack Workload Characterization of Deep Recommendation Systems
+//!
+//! Umbrella crate for the IISWC 2020 reproduction. It re-exports every
+//! sub-crate under one roof so examples and downstream users can depend on a
+//! single package:
+//!
+//! * [`tensor`] — dense f32 tensors and linear algebra,
+//! * [`ops`] — the deep-learning operator library (FC, SparseLengthsSum, …),
+//! * [`graph`] — operator graphs, execution, profiling, framework dialects,
+//! * [`models`] — the eight industry-representative recommendation models,
+//! * [`workload`] — synthetic inference query generation,
+//! * [`uarch`] — microarchitecture component simulators,
+//! * [`hwsim`] — CPU/GPU platform performance models (Table II),
+//! * [`analysis`] — regression and report rendering,
+//! * [`core`] — the cross-stack characterization harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use deeprec::core::{CharacterizeOptions, Characterizer};
+//! use deeprec::hwsim::Platform;
+//! use deeprec::models::{ModelId, ModelScale};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut model = ModelId::Ncf.build(ModelScale::Tiny, 7)?;
+//! let platform = Platform::broadwell();
+//! let report = Characterizer::new(CharacterizeOptions::fast())
+//!     .characterize(&mut model, 4, &platform)?;
+//! assert!(report.latency_seconds > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use drec_analysis as analysis;
+pub use drec_core as core;
+pub use drec_graph as graph;
+pub use drec_hwsim as hwsim;
+pub use drec_models as models;
+pub use drec_ops as ops;
+pub use drec_tensor as tensor;
+pub use drec_trace as trace;
+pub use drec_uarch as uarch;
+pub use drec_workload as workload;

@@ -1,0 +1,223 @@
+//! Cross-crate integration tests asserting the *qualitative shapes* of the
+//! paper's results at `Paper` model scale (small batches keep the
+//! functional runs fast in debug builds).
+
+use deeprec::core::{CharacterizeOptions, Characterizer};
+use deeprec::hwsim::Platform;
+use deeprec::models::{ModelId, ModelScale};
+
+fn harness() -> Characterizer {
+    Characterizer::new(CharacterizeOptions::fast())
+}
+
+fn cpu_counters(id: ModelId, batch: usize, platform: &Platform) -> deeprec::hwsim::CpuCounters {
+    let mut model = id.build(ModelScale::Paper, 7).expect("build");
+    harness()
+        .characterize(&mut model, batch, platform)
+        .expect("characterize")
+        .cpu
+        .expect("cpu platform")
+}
+
+#[test]
+fn cascade_lake_beats_broadwell_on_every_model() {
+    // Paper Fig 3 observation 3: Cascade Lake improves performance across
+    // all models and batch sizes.
+    let h = harness();
+    for id in ModelId::ALL {
+        let mut model = id.build(ModelScale::Paper, 7).expect("build");
+        let trace = h.trace(&mut model, 16).expect("trace");
+        let bdw = h.report_from_trace(id.name(), &trace, &Platform::broadwell());
+        let clx = h.report_from_trace(id.name(), &trace, &Platform::cascade_lake());
+        assert!(
+            clx.latency_seconds < bdw.latency_seconds,
+            "{id}: CLX {} vs BDW {}",
+            clx.latency_seconds,
+            bdw.latency_seconds
+        );
+    }
+}
+
+#[test]
+fn gpus_win_big_on_fc_models_at_large_batch() {
+    // Paper Fig 3 observation 1 (reduced batch for test speed).
+    let h = harness();
+    let mut model = ModelId::Wnd.build(ModelScale::Paper, 7).expect("build");
+    let trace = h.trace(&mut model, 256).expect("trace");
+    let bdw = h.report_from_trace("WnD", &trace, &Platform::broadwell());
+    let gpu = h.report_from_trace("WnD", &trace, &Platform::gtx_1080_ti());
+    let speedup = bdw.latency_seconds / gpu.latency_seconds;
+    assert!(speedup > 5.0, "WnD GPU speedup at 256 was {speedup}");
+}
+
+#[test]
+fn cpu_beats_gpu_on_din_at_small_batch() {
+    // Paper Fig 3 observation 2: Broadwell outperforms GPUs on DIN below
+    // batch ≈ 100.
+    let h = harness();
+    let mut model = ModelId::Din.build(ModelScale::Paper, 7).expect("build");
+    let trace = h.trace(&mut model, 16).expect("trace");
+    let bdw = h.report_from_trace("DIN", &trace, &Platform::broadwell());
+    let gpu = h.report_from_trace("DIN", &trace, &Platform::t4());
+    assert!(
+        bdw.latency_seconds < gpu.latency_seconds,
+        "BDW {} vs T4 {}",
+        bdw.latency_seconds,
+        gpu.latency_seconds
+    );
+}
+
+#[test]
+fn embedding_models_get_least_gpu_speedup() {
+    // RM2's irregular gathers cap its GPU speedup below the FC models'.
+    let h = harness();
+    let speedup = |id: ModelId| {
+        let mut model = id.build(ModelScale::Paper, 7).expect("build");
+        let trace = h.trace(&mut model, 256).expect("trace");
+        let bdw = h.report_from_trace(id.name(), &trace, &Platform::broadwell());
+        let gpu = h.report_from_trace(id.name(), &trace, &Platform::gtx_1080_ti());
+        bdw.latency_seconds / gpu.latency_seconds
+    };
+    assert!(speedup(ModelId::Rm2) < speedup(ModelId::Rm3));
+}
+
+#[test]
+fn rm1_dominant_operator_flips_from_fc_to_sls_with_batch() {
+    // Paper Fig 6 observation 2: on RM1, growing the batch from 4 to 64
+    // shifts the dominant operator from FC to SparseLengthsSum. Run at
+    // full fidelity — the flip point is sensitive to sampling.
+    let h = Characterizer::new(CharacterizeOptions::paper());
+    let mut model = ModelId::Rm1.build(ModelScale::Paper, 7).expect("build");
+    let small = h
+        .characterize(&mut model, 4, &Platform::broadwell())
+        .expect("characterize");
+    let large = h
+        .characterize(&mut model, 64, &Platform::broadwell())
+        .expect("characterize");
+    assert_eq!(
+        small.breakdown.dominant(),
+        Some("FC"),
+        "{:?}",
+        small.breakdown
+    );
+    assert_eq!(
+        large.breakdown.dominant(),
+        Some("SparseLengthsSum"),
+        "{:?}",
+        large.breakdown
+    );
+}
+
+#[test]
+fn attention_models_have_highest_icache_mpki() {
+    // Paper Fig 12: DIN and DIEN (and NCF) suffer the most i-cache misses.
+    let din = cpu_counters(ModelId::Din, 16, &Platform::broadwell()).icache_mpki;
+    let dien = cpu_counters(ModelId::Dien, 16, &Platform::broadwell()).icache_mpki;
+    let rm3 = cpu_counters(ModelId::Rm3, 16, &Platform::broadwell()).icache_mpki;
+    let wnd = cpu_counters(ModelId::Wnd, 16, &Platform::broadwell()).icache_mpki;
+    assert!(din > 5.0 * rm3, "DIN {din} vs RM3 {rm3}");
+    assert!(dien > 2.0 * wnd, "DIEN {dien} vs WnD {wnd}");
+    assert!(din > dien, "DIN {din} should top DIEN {dien}");
+}
+
+#[test]
+fn rm2_has_most_dram_congestion() {
+    // Paper Fig 14.
+    let congestion = |id: ModelId| cpu_counters(id, 64, &Platform::broadwell()).dram_congested_frac;
+    let rm2 = congestion(ModelId::Rm2);
+    assert!(rm2 > congestion(ModelId::Rm1), "RM2 {rm2}");
+    assert!(rm2 > congestion(ModelId::Din));
+    assert!(rm2 > congestion(ModelId::Dien));
+}
+
+#[test]
+fn branch_mispredicts_drop_on_cascade_lake() {
+    // Paper Fig 15.
+    for id in ModelId::ALL {
+        let bdw = cpu_counters(id, 16, &Platform::broadwell()).branch_mpki;
+        let clx = cpu_counters(id, 16, &Platform::cascade_lake()).branch_mpki;
+        assert!(clx < bdw, "{id}: BDW {bdw} vs CLX {clx}");
+    }
+}
+
+#[test]
+fn fc_models_are_avx_heavy_and_core_bound_on_broadwell() {
+    // Paper Fig 9/10.
+    for id in [ModelId::Rm3, ModelId::Wnd, ModelId::MtWnd] {
+        let c = cpu_counters(id, 16, &Platform::broadwell());
+        assert!(c.avx_fraction() > 0.5, "{id} AVX {}", c.avx_fraction());
+        assert!(
+            c.topdown.core_memory_ratio() > 1.5,
+            "{id} ratio {}",
+            c.topdown.core_memory_ratio()
+        );
+        assert!(
+            c.fu_frac_at_least(3) > 0.25,
+            "{id} FU3+ {}",
+            c.fu_frac_at_least(3)
+        );
+    }
+}
+
+#[test]
+fn cascade_lake_shifts_fc_models_toward_memory() {
+    // Paper Fig 10: the backend bottleneck moves core → memory on CLX.
+    for id in [ModelId::Rm3, ModelId::Wnd] {
+        let bdw = cpu_counters(id, 16, &Platform::broadwell())
+            .topdown
+            .core_memory_ratio();
+        let clx = cpu_counters(id, 16, &Platform::cascade_lake())
+            .topdown
+            .core_memory_ratio();
+        assert!(clx < bdw * 0.7, "{id}: BDW {bdw} vs CLX {clx}");
+    }
+}
+
+#[test]
+fn cascade_lake_retires_fewer_instructions() {
+    // Paper Fig 11 (AVX-512/VNNI shrinks the dynamic instruction count).
+    for id in [ModelId::Rm3, ModelId::Wnd, ModelId::Ncf] {
+        let bdw = cpu_counters(id, 16, &Platform::broadwell()).retired_instructions;
+        let clx = cpu_counters(id, 16, &Platform::cascade_lake()).retired_instructions;
+        assert!(clx < bdw, "{id}: {clx} vs {bdw}");
+    }
+}
+
+#[test]
+fn gpu_data_comm_fraction_grows_with_batch() {
+    // Paper Fig 4.
+    let h = harness();
+    let mut model = ModelId::Rm1.build(ModelScale::Paper, 7).expect("build");
+    let frac = |h: &Characterizer, model: &mut deeprec::models::RecModel, batch| {
+        let trace = h.trace(model, batch).expect("trace");
+        h.report_from_trace("RM1", &trace, &Platform::t4())
+            .gpu
+            .expect("gpu")
+            .data_comm_fraction()
+    };
+    let small = frac(&h, &mut model, 4);
+    let large = frac(&h, &mut model, 256);
+    assert!(large > small, "{small} -> {large}");
+}
+
+#[test]
+fn fig16_regression_finds_distributed_causes() {
+    // Paper Fig 16: no bottleneck is explained by a single feature.
+    let result = deeprec::core::fig16::run(
+        &ModelId::ALL,
+        &[4, 64],
+        &Platform::broadwell(),
+        ModelScale::Paper,
+        CharacterizeOptions::fast(),
+    )
+    .expect("regression");
+    assert_eq!(result.samples, 16);
+    for (target, fit) in &result.fits {
+        let mut mags: Vec<f64> = fit.weights.iter().map(|w| w.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(
+            mags[1] > 0.2 * mags[0],
+            "{target}: single dominant feature ({mags:?})"
+        );
+    }
+}
