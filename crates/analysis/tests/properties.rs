@@ -1,15 +1,15 @@
-//! Property-based tests for the regression and statistics module.
+//! Property-based tests for the regression and statistics module, driven
+//! by the deterministic `drec-check` case harness.
 
 use drec_analysis::{ols, stats, zscore_columns, Matrix};
-use proptest::prelude::*;
+use drec_check::cases;
 
-proptest! {
-    #[test]
-    fn ols_recovers_random_linear_models(
-        w0 in -5.0f64..5.0,
-        w1 in -5.0f64..5.0,
-        intercept in -5.0f64..5.0,
-    ) {
+#[test]
+fn ols_recovers_random_linear_models() {
+    cases(64, |rng| {
+        let w0 = rng.f64_in(-5.0..5.0);
+        let w1 = rng.f64_in(-5.0..5.0);
+        let intercept = rng.f64_in(-5.0..5.0);
         let x: Vec<Vec<f64>> = (0..30)
             .map(|i| vec![i as f64 * 0.3, ((i * 7) % 11) as f64])
             .collect();
@@ -18,27 +18,35 @@ proptest! {
             .map(|r| intercept + w0 * r[0] + w1 * r[1])
             .collect();
         let fit = ols(&x, &y).unwrap();
-        prop_assert!((fit.weights[0] - w0).abs() < 1e-5, "{} vs {w0}", fit.weights[0]);
-        prop_assert!((fit.weights[1] - w1).abs() < 1e-5);
-        prop_assert!((fit.intercept - intercept).abs() < 1e-4);
-        prop_assert!(fit.r2 > 0.9999 || (w0.abs() < 1e-9 && w1.abs() < 1e-9));
-    }
+        assert!(
+            (fit.weights[0] - w0).abs() < 1e-5,
+            "{} vs {w0}",
+            fit.weights[0]
+        );
+        assert!((fit.weights[1] - w1).abs() < 1e-5);
+        assert!((fit.intercept - intercept).abs() < 1e-4);
+        assert!(fit.r2 > 0.9999 || (w0.abs() < 1e-9 && w1.abs() < 1e-9));
+    });
+}
 
-    #[test]
-    fn zscore_output_has_zero_mean_unit_scale(
-        vals in prop::collection::vec(-100.0f64..100.0, 4..40),
-    ) {
+#[test]
+fn zscore_output_has_zero_mean_unit_scale() {
+    cases(64, |rng| {
+        let vals = rng.vec_of(4..40, |r| r.f64_in(-100.0..100.0));
         let x: Vec<Vec<f64>> = vals.iter().map(|&v| vec![v]).collect();
         let (n, _, _) = zscore_columns(&x);
         let col: Vec<f64> = n.iter().map(|r| r[0]).collect();
-        prop_assert!(stats::mean(&col).abs() < 1e-9);
+        assert!(stats::mean(&col).abs() < 1e-9);
         let sd = stats::std_dev(&col);
         // Either unit std, or the column was constant (forced std 1).
-        prop_assert!((sd - 1.0).abs() < 1e-6 || sd < 1e-9);
-    }
+        assert!((sd - 1.0).abs() < 1e-6 || sd < 1e-9);
+    });
+}
 
-    #[test]
-    fn solve_inverts_matmul(seed in 0u64..500) {
+#[test]
+fn solve_inverts_matmul() {
+    cases(64, |rng| {
+        let seed = rng.u64_in(0..500);
         // Build a well-conditioned system: diagonally dominant.
         let n = 4usize;
         let mut m = Matrix::zeros(n, n);
@@ -65,28 +73,30 @@ proptest! {
         }
         let x = m.solve(&b).unwrap();
         for (a, e) in x.iter().zip(&x_true) {
-            prop_assert!((a - e).abs() < 1e-8, "{a} vs {e}");
+            assert!((a - e).abs() < 1e-8, "{a} vs {e}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn geomean_between_min_and_max(
-        vals in prop::collection::vec(0.01f64..100.0, 1..20),
-    ) {
+#[test]
+fn geomean_between_min_and_max() {
+    cases(64, |rng| {
+        let vals = rng.vec_of(1..20, |r| r.f64_in(0.01..100.0));
         let g = stats::geomean(&vals);
         let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vals.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
-    }
+        assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    });
+}
 
-    #[test]
-    fn pearson_is_bounded_and_symmetric(
-        pairs in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..30),
-    ) {
+#[test]
+fn pearson_is_bounded_and_symmetric() {
+    cases(64, |rng| {
+        let pairs = rng.vec_of(3..30, |r| (r.f64_in(-50.0..50.0), r.f64_in(-50.0..50.0)));
         let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
         let r = stats::pearson(&xs, &ys);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
-        prop_assert!((r - stats::pearson(&ys, &xs)).abs() < 1e-12);
-    }
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        assert!((r - stats::pearson(&ys, &xs)).abs() < 1e-12);
+    });
 }

@@ -1,9 +1,9 @@
-//! Criterion benchmarks for the substrate components: tensor kernels,
+//! Wall-clock benchmarks for the substrate components: tensor kernels,
 //! cache/branch/port simulators, and workload generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use drec_bench::timing::bench;
 use drec_models::{ModelId, ModelScale};
 use drec_tensor::{ParamInit, Tensor};
 use drec_trace::BranchProfile;
@@ -12,58 +12,48 @@ use drec_uarch::{
 };
 use drec_workload::QueryGen;
 
-fn bench_matmul(c: &mut Criterion) {
+fn main() {
     let mut init = ParamInit::new(1);
     let a = init.uniform(&[128, 128], -1.0, 1.0);
     let b = init.uniform(&[128, 128], -1.0, 1.0);
-    c.bench_function("tensor_matmul_128", |bch| {
-        bch.iter(|| black_box(a.matmul(&b).expect("matmul").sum()))
+    bench("tensor_matmul_128", || {
+        black_box(a.matmul(&b).expect("matmul").sum())
     });
     let w = init.uniform(&[128, 128], -1.0, 1.0);
-    c.bench_function("tensor_matmul_transposed_128", |bch| {
-        bch.iter(|| black_box(a.matmul_transposed(&w).expect("matmul").sum()))
+    bench("tensor_matmul_transposed_128", || {
+        black_box(a.matmul_transposed(&w).expect("matmul").sum())
     });
-}
 
-fn bench_cache_sim(c: &mut Criterion) {
     let cfg = CacheConfig {
         bytes: 32 * 1024,
         ways: 8,
         line: 64,
     };
-    c.bench_function("cache_sim_100k_random_accesses", |bch| {
-        bch.iter(|| {
-            let mut sim = CacheSim::new(cfg);
-            let mut state = 0xDEADu64;
-            for _ in 0..100_000 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                sim.access((state >> 12) % (1 << 28), 1.0);
-            }
-            black_box(sim.misses())
-        })
+    bench("cache_sim_100k_random_accesses", || {
+        let mut sim = CacheSim::new(cfg);
+        let mut state = 0xDEADu64;
+        for _ in 0..100_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sim.access((state >> 12) % (1 << 28), 1.0);
+        }
+        black_box(sim.misses())
     });
-}
 
-fn bench_branch_sim(c: &mut Criterion) {
     let profile = BranchProfile {
         loop_branches: 50_000.0,
         data_branches: 20_000.0,
         data_taken_rate: 0.7,
         indirect_branches: 64.0,
     };
-    c.bench_function("branch_synth_70k", |bch| {
-        bch.iter(|| {
-            let mut synth = BranchSynth::new(GshareConfig {
-                table_bits: 13,
-                history_bits: 12,
-                bimodal_fallback: false,
-            });
-            black_box(synth.run_op(&profile, 3).mispredicts)
-        })
+    bench("branch_synth_70k", || {
+        let mut synth = BranchSynth::new(GshareConfig {
+            table_bits: 13,
+            history_bits: 12,
+            bimodal_fallback: false,
+        });
+        black_box(synth.run_op(&profile, 3).mispredicts)
     });
-}
 
-fn bench_port_scheduler(c: &mut Criterion) {
     let sched = PortScheduler::new(PortConfig {
         issue_width: 4,
         alu_ports: 4,
@@ -83,38 +73,21 @@ fn bench_port_scheduler(c: &mut Criterion) {
         branches: 1_500.0,
         ..UopMix::default()
     };
-    c.bench_function("port_scheduler_16k_uops", |bch| {
-        bch.iter(|| black_box(sched.run_op(&mix).cycles))
+    bench("port_scheduler_16k_uops", || {
+        black_box(sched.run_op(&mix).cycles)
     });
-}
 
-fn bench_workload_gen(c: &mut Criterion) {
     let model = ModelId::Rm2.build(ModelScale::Tiny, 7).expect("build");
-    c.bench_function("workload_batch_rm2_64", |bch| {
-        let mut gen = QueryGen::uniform(5);
-        bch.iter(|| black_box(gen.batch(model.spec(), 64).len()))
+    let mut query_gen = QueryGen::uniform(5);
+    bench("workload_batch_rm2_64", || {
+        black_box(query_gen.batch(model.spec(), 64).len())
     });
-}
 
-fn bench_functional_inference(c: &mut Criterion) {
-    let mut model = ModelId::Ncf.build(ModelScale::Tiny, 7).expect("build");
-    let mut gen = QueryGen::uniform(5);
-    c.bench_function("ncf_untraced_inference_16", |bch| {
-        bch.iter(|| {
-            let inputs = gen.batch(model.spec(), 16);
-            black_box(model.run(inputs).expect("run").len())
-        })
+    let mut ncf = ModelId::Ncf.build(ModelScale::Tiny, 7).expect("build");
+    let mut ncf_gen = QueryGen::uniform(5);
+    bench("ncf_untraced_inference_16", || {
+        let inputs = ncf_gen.batch(ncf.spec(), 16);
+        black_box(ncf.run(inputs).expect("run").len())
     });
     let _ = Tensor::zeros(&[1]);
 }
-
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_cache_sim,
-    bench_branch_sim,
-    bench_port_scheduler,
-    bench_workload_gen,
-    bench_functional_inference,
-);
-criterion_main!(benches);

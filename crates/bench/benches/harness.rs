@@ -1,11 +1,11 @@
-//! Criterion benchmarks for the characterization harness itself: one group
-//! per paper artefact exercising the pipeline that regenerates it, plus
-//! the heaviest simulator components. All groups run at `Tiny` model scale
-//! so `cargo bench` completes in minutes.
+//! Wall-clock benchmarks for the characterization harness itself: one
+//! group per paper artefact exercising the pipeline that regenerates it,
+//! plus the heaviest simulator components. All groups run at `Tiny` model
+//! scale so `cargo bench` completes in minutes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use drec_bench::timing::bench;
 use drec_core::{fig16, sweep::sweep, CharacterizeOptions, Characterizer};
 use drec_hwsim::{CpuModel, CpuSim, GpuModel, Platform};
 use drec_models::{ModelId, ModelScale};
@@ -22,95 +22,64 @@ fn captured_trace(id: ModelId, batch: usize) -> RunTrace {
         .expect("trace")
 }
 
-/// Tables I/II: model construction and metadata extraction.
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1_build_all_models", |b| {
-        b.iter(|| {
-            for id in ModelId::ALL {
-                let model = id.build(ModelScale::Tiny, 7).expect("build");
-                black_box(model.meta().fc_to_emb_ratio());
-            }
-        })
+fn main() {
+    // Tables I/II: model construction and metadata extraction.
+    bench("table1_build_all_models", || {
+        for id in ModelId::ALL {
+            let model = id.build(ModelScale::Tiny, 7).expect("build");
+            black_box(model.meta().fc_to_emb_ratio());
+        }
     });
-}
 
-/// Fig 3/5: the model × batch × platform sweep.
-fn bench_fig3_sweep(c: &mut Criterion) {
-    c.bench_function("fig3_sweep_two_models", |b| {
-        b.iter(|| {
-            let result = sweep(
-                &[ModelId::Ncf, ModelId::Rm1],
-                &[1, 16],
-                &Platform::all(),
-                ModelScale::Tiny,
-                options(),
-            )
-            .expect("sweep");
-            black_box(result.cells.len())
-        })
+    // Fig 3/5: the model × batch × platform sweep.
+    bench("fig3_sweep_two_models", || {
+        let result = sweep(
+            &[ModelId::Ncf, ModelId::Rm1],
+            &[1, 16],
+            &Platform::all(),
+            ModelScale::Tiny,
+            options(),
+        )
+        .expect("sweep");
+        black_box(result.cells.len())
     });
-}
 
-/// Fig 4: GPU evaluation of a captured trace.
-fn bench_fig4_gpu_eval(c: &mut Criterion) {
+    // Fig 4: GPU evaluation of a captured trace.
     let trace = captured_trace(ModelId::Rm2, 16);
     let gpu = GpuModel::t4();
-    c.bench_function("fig4_gpu_evaluate_rm2", |b| {
-        b.iter(|| black_box(gpu.simulate(&trace).seconds))
+    bench("fig4_gpu_evaluate_rm2", || {
+        black_box(gpu.simulate(&trace).seconds)
     });
-}
 
-/// Fig 6: trace capture (functional execution + evidence emission).
-fn bench_fig6_trace_capture(c: &mut Criterion) {
+    // Fig 6: trace capture (functional execution + evidence emission).
     let mut model = ModelId::Din.build(ModelScale::Tiny, 7).expect("build");
     let characterizer = Characterizer::new(options());
-    c.bench_function("fig6_trace_capture_din", |b| {
-        b.iter(|| black_box(characterizer.trace(&mut model, 8).expect("trace").ops.len()))
+    bench("fig6_trace_capture_din", || {
+        black_box(characterizer.trace(&mut model, 8).expect("trace").ops.len())
     });
-}
 
-/// Fig 8–15: the full CPU microarchitectural simulation of one trace.
-fn bench_fig8_cpu_sim(c: &mut Criterion) {
-    let trace = captured_trace(ModelId::Rm1, 16);
-    c.bench_function("fig8_cpu_simulate_rm1_broadwell", |b| {
-        b.iter(|| {
-            let mut sim = CpuSim::new(CpuModel::broadwell());
-            black_box(sim.simulate(&trace).cycles)
-        })
+    // Fig 8–15: the full CPU microarchitectural simulation of one trace.
+    let rm1 = captured_trace(ModelId::Rm1, 16);
+    bench("fig8_cpu_simulate_rm1_broadwell", || {
+        let mut sim = CpuSim::new(CpuModel::broadwell());
+        black_box(sim.simulate(&rm1).cycles)
     });
     let din = captured_trace(ModelId::Din, 8);
-    c.bench_function("fig12_cpu_simulate_din_icache", |b| {
-        b.iter(|| {
-            let mut sim = CpuSim::new(CpuModel::broadwell());
-            black_box(sim.simulate(&din).icache_mpki)
-        })
+    bench("fig12_cpu_simulate_din_icache", || {
+        let mut sim = CpuSim::new(CpuModel::broadwell());
+        black_box(sim.simulate(&din).icache_mpki)
+    });
+
+    // Fig 16: the regression study end to end.
+    bench("fig16_regression_tiny", || {
+        let result = fig16::run(
+            &[ModelId::Ncf, ModelId::Rm1, ModelId::Rm3, ModelId::Din],
+            &[4],
+            &Platform::broadwell(),
+            ModelScale::Tiny,
+            options(),
+        )
+        .expect("fig16");
+        black_box(result.samples)
     });
 }
-
-/// Fig 16: the regression study end to end.
-fn bench_fig16_regression(c: &mut Criterion) {
-    c.bench_function("fig16_regression_tiny", |b| {
-        b.iter(|| {
-            let result = fig16::run(
-                &[ModelId::Ncf, ModelId::Rm1, ModelId::Rm3, ModelId::Din],
-                &[4],
-                &Platform::broadwell(),
-                ModelScale::Tiny,
-                options(),
-            )
-            .expect("fig16");
-            black_box(result.samples)
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_tables,
-    bench_fig3_sweep,
-    bench_fig4_gpu_eval,
-    bench_fig6_trace_capture,
-    bench_fig8_cpu_sim,
-    bench_fig16_regression,
-);
-criterion_main!(benches);

@@ -79,6 +79,61 @@ impl Default for BenchArgs {
     }
 }
 
+/// Minimal wall-clock benchmark runner used by the `benches/` targets.
+///
+/// Criterion is unavailable in the offline build environment, so the bench
+/// targets (`harness = false`) time closures directly: warm up briefly,
+/// then run until a time budget or iteration cap is hit and report
+/// min/median/mean per iteration.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Runs and reports one named benchmark.
+    pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+        // Warm-up: a few iterations so lazily-initialised state settles.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3
+            || (warm_start.elapsed() < Duration::from_millis(50) && warm_iters < 50)
+        {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+
+        let budget = Duration::from_millis(500);
+        let start = Instant::now();
+        let mut samples_ns: Vec<u128> = Vec::new();
+        while start.elapsed() < budget && samples_ns.len() < 1_000 {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples_ns.push(t0.elapsed().as_nanos());
+        }
+        samples_ns.sort_unstable();
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+        println!(
+            "{name:<40} {:>5} iters  min {}  median {}  mean {}",
+            samples_ns.len(),
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+
+    fn fmt_ns(ns: u128) -> String {
+        if ns >= 1_000_000_000 {
+            format!("{:.2} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.2} µs", ns as f64 / 1e3)
+        } else {
+            format!("{ns} ns")
+        }
+    }
+}
+
 /// Formats a speedup for grid cells.
 pub fn fmt_speedup(s: f64) -> String {
     if s >= 100.0 {

@@ -67,7 +67,8 @@ pub fn serving_points(sweep: &SweepResult, model: ModelId, sla_seconds: f64) -> 
 }
 
 /// The platform with the highest SLA-compliant throughput, if any meets
-/// the target.
+/// the target. QPS ties break on the lexicographically first platform
+/// name, so the winner never depends on sweep-cell order.
 pub fn best_server(sweep: &SweepResult, model: ModelId, sla_seconds: f64) -> Option<ServingPoint> {
     serving_points(sweep, model, sla_seconds)
         .into_iter()
@@ -76,6 +77,7 @@ pub fn best_server(sweep: &SweepResult, model: ModelId, sla_seconds: f64) -> Opt
             a.qps
                 .partial_cmp(&b.qps)
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.platform.cmp(&a.platform))
         })
 }
 
@@ -106,7 +108,10 @@ impl LatencyCurve {
         Some(LatencyCurve { knots })
     }
 
-    /// Builds a curve directly from `(batch, seconds)` points.
+    /// Builds a curve directly from `(batch, seconds)` points. Duplicate
+    /// batch knots collapse to the first given (the sort is stable) —
+    /// without the dedup, equal neighbouring knots make the log-log
+    /// interpolation divide by `ln(b) - ln(b) = 0`.
     ///
     /// # Panics
     ///
@@ -114,6 +119,7 @@ impl LatencyCurve {
     pub fn from_points(mut knots: Vec<(usize, f64)>) -> Self {
         assert!(!knots.is_empty(), "latency curve needs at least one point");
         knots.sort_by_key(|k| k.0);
+        knots.dedup_by_key(|k| k.0);
         LatencyCurve { knots }
     }
 
@@ -286,6 +292,37 @@ mod tests {
         let best = best_server(&sweep, ModelId::Rm1, 0.010).unwrap();
         assert_eq!(best.platform, "GPU");
         assert_eq!(best.batch, Some(256));
+    }
+
+    #[test]
+    fn best_server_breaks_qps_ties_on_platform_name() {
+        // Two platforms hit identical SLA-compliant qps; the winner must
+        // be the lexicographically first name regardless of cell order.
+        let cells = vec![
+            (ModelId::Rm1, 64, "t4-gpu", 0.004),
+            (ModelId::Rm1, 64, "broadwell", 0.004),
+        ];
+        let forward = sweep_with(cells.clone());
+        let mut reversed_cells = cells;
+        reversed_cells.reverse();
+        let reversed = sweep_with(reversed_cells);
+        let a = best_server(&forward, ModelId::Rm1, 0.010).unwrap();
+        let b = best_server(&reversed, ModelId::Rm1, 0.010).unwrap();
+        assert_eq!(a.platform, "broadwell");
+        assert_eq!(b.platform, "broadwell");
+    }
+
+    #[test]
+    fn duplicate_batch_knots_do_not_poison_the_curve() {
+        // Regression: duplicate batch values used to survive from_points
+        // (only from_sweep deduped), making eval divide by ln(b)-ln(b)=0.
+        let curve = LatencyCurve::from_points(vec![(16, 2e-3), (1, 1e-3), (16, 5e-3), (64, 8e-3)]);
+        for batch in [1, 2, 4, 8, 16, 32, 64, 128] {
+            let t = curve.eval(batch);
+            assert!(t.is_finite() && t > 0.0, "batch {batch} gave {t}");
+        }
+        // Stable sort + dedup keeps the first knot given for a batch.
+        assert!((curve.eval(16) - 2e-3).abs() < 1e-12);
     }
 
     #[test]

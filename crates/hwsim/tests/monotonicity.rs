@@ -1,13 +1,13 @@
 //! Property-based monotonicity checks on the platform models: more work
 //! never gets cheaper, bigger caches never hurt, faster DRAM never slows
-//! things down.
+//! things down. Driven by the deterministic `drec-check` case harness.
 
+use drec_check::cases;
 use drec_hwsim::{CpuModel, CpuSim, GpuModel};
 use drec_trace::{
     AccessKind, BranchProfile, CodeFootprint, CodeRegion, KernelClass, OpTrace, RunTrace,
     SampledMemTrace, WorkVector,
 };
-use proptest::prelude::*;
 
 fn dense_op(flop_scale: f64, lines: u64) -> OpTrace {
     let mut mem = SampledMemTrace::with_period(1);
@@ -60,22 +60,24 @@ fn run_of(op: OpTrace) -> RunTrace {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn cpu_time_grows_with_work(scale in 1.0f64..20.0) {
+#[test]
+fn cpu_time_grows_with_work() {
+    cases(24, |rng| {
+        let scale = rng.f64_in(1.0..20.0);
         let small = CpuSim::new(CpuModel::broadwell())
             .simulate(&run_of(dense_op(1.0, 64)))
             .seconds;
         let big = CpuSim::new(CpuModel::broadwell())
             .simulate(&run_of(dense_op(scale + 0.5, 64)))
             .seconds;
-        prop_assert!(big > small);
-    }
+        assert!(big > small);
+    });
+}
 
-    #[test]
-    fn bigger_l3_never_adds_dram_traffic(extra_mb in 1u64..64) {
+#[test]
+fn bigger_l3_never_adds_dram_traffic() {
+    cases(24, |rng| {
+        let extra_mb = rng.u64_in(1..64);
         let mut small_l3 = CpuModel::broadwell();
         small_l3.hierarchy.l3.bytes = 2 * 1024 * 1024;
         let mut big_l3 = CpuModel::broadwell();
@@ -92,11 +94,14 @@ proptest! {
         op.mem = mem;
         let small = CpuSim::new(small_l3).simulate(&run_of(op.clone()));
         let big = CpuSim::new(big_l3).simulate(&run_of(op));
-        prop_assert!(big.mem_level_hits[3] <= small.mem_level_hits[3] + 1.0);
-    }
+        assert!(big.mem_level_hits[3] <= small.mem_level_hits[3] + 1.0);
+    });
+}
 
-    #[test]
-    fn faster_dram_never_hurts_gather_runs(bw_boost in 1.0f64..4.0) {
+#[test]
+fn faster_dram_never_hurts_gather_runs() {
+    cases(24, |rng| {
+        let bw_boost = rng.f64_in(1.0..4.0);
         let mut base = CpuModel::broadwell();
         let mut fast = CpuModel::broadwell();
         fast.dram.bandwidth_bytes_per_sec = base.dram.bandwidth_bytes_per_sec * bw_boost;
@@ -115,35 +120,43 @@ proptest! {
         op.mem = mem;
         let slow_t = CpuSim::new(base).simulate(&run_of(op.clone())).seconds;
         let fast_t = CpuSim::new(fast).simulate(&run_of(op)).seconds;
-        prop_assert!(fast_t <= slow_t * 1.0001, "{fast_t} vs {slow_t}");
-    }
+        assert!(fast_t <= slow_t * 1.0001, "{fast_t} vs {slow_t}");
+    });
+}
 
-    #[test]
-    fn gpu_time_grows_with_flops(scale in 1.0f64..50.0) {
+#[test]
+fn gpu_time_grows_with_flops() {
+    cases(24, |rng| {
+        let scale = rng.f64_in(1.0..50.0);
         let gpu = GpuModel::t4();
         let small = gpu.simulate(&run_of(dense_op(1.0, 1))).seconds;
         let big = gpu.simulate(&run_of(dense_op(scale + 0.5, 1))).seconds;
-        prop_assert!(big >= small);
-    }
+        assert!(big >= small);
+    });
+}
 
-    #[test]
-    fn gpu_pcie_time_grows_with_input_bytes(extra_kb in 1u64..1024) {
+#[test]
+fn gpu_pcie_time_grows_with_input_bytes() {
+    cases(24, |rng| {
+        let extra_kb = rng.u64_in(1..1024);
         let gpu = GpuModel::gtx_1080_ti();
         let mut small = run_of(dense_op(1.0, 1));
         small.input_bytes = 1024;
         let mut big = run_of(dense_op(1.0, 1));
         big.input_bytes = 1024 + extra_kb * 1024;
-        prop_assert!(
-            gpu.simulate(&big).data_comm_seconds > gpu.simulate(&small).data_comm_seconds
-        );
-    }
+        assert!(gpu.simulate(&big).data_comm_seconds > gpu.simulate(&small).data_comm_seconds);
+    });
+}
 
-    #[test]
-    fn topdown_is_always_a_valid_distribution(scale in 0.5f64..30.0, lines in 1u64..2_000) {
-        let counters = CpuSim::new(CpuModel::cascade_lake())
-            .simulate(&run_of(dense_op(scale, lines)));
+#[test]
+fn topdown_is_always_a_valid_distribution() {
+    cases(24, |rng| {
+        let scale = rng.f64_in(0.5..30.0);
+        let lines = rng.u64_in(1..2_000);
+        let counters =
+            CpuSim::new(CpuModel::cascade_lake()).simulate(&run_of(dense_op(scale, lines)));
         let td = counters.topdown;
-        prop_assert!((td.total() - 1.0).abs() < 1e-6);
+        assert!((td.total() - 1.0).abs() < 1e-6);
         for v in [
             td.retiring,
             td.frontend,
@@ -151,7 +164,7 @@ proptest! {
             td.backend_core,
             td.backend_memory,
         ] {
-            prop_assert!((0.0..=1.0).contains(&v), "{td:?}");
+            assert!((0.0..=1.0).contains(&v), "{td:?}");
         }
-    }
+    });
 }

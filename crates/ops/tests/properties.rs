@@ -1,59 +1,55 @@
-//! Property-based tests of operator semantics.
+//! Property-based tests of operator semantics, driven by the
+//! deterministic `drec-check` case harness.
 
 use std::sync::Arc;
 
+use drec_check::{cases, CaseRng};
 use drec_ops::{
     Concat, EmbeddingTable, ExecContext, FullyConnected, IdList, Mul, Operator, PairwiseDot,
     PoolMode, Softmax, SparseLengthsSum, Sum, Value,
 };
 use drec_tensor::{ParamInit, Tensor};
-use proptest::prelude::*;
 
 fn dense_value(ctx: &mut ExecContext, rows: usize, cols: usize, seed: u64) -> Value {
     let t = ParamInit::new(seed).uniform(&[rows, cols], -1.5, 1.5);
     ctx.external_input(Value::dense(t))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fc_is_linear_in_its_input(
-        batch in 1usize..6,
-        in_f in 1usize..10,
-        out_f in 1usize..10,
-        seed in 0u64..500,
-        alpha in -3.0f32..3.0,
-    ) {
+#[test]
+fn fc_is_linear_in_its_input() {
+    cases(64, |rng: &mut CaseRng| {
+        let batch = rng.usize_in(1..6);
+        let in_f = rng.usize_in(1..10);
+        let out_f = rng.usize_in(1..10);
+        let seed = rng.u64_in(0..500);
+        let alpha = rng.f32_in(-3.0..3.0);
         let mut ctx = ExecContext::new();
         let mut init = ParamInit::new(seed);
         let fc = FullyConnected::new(in_f, out_f, &mut ctx, &mut init);
         let x = dense_value(&mut ctx, batch, in_f, seed + 1);
         let y = fc.run(&mut ctx, &[&x]).unwrap();
         // FC(αx) - FC(x)·α = bias·(1-α): check FC(αx) - bias = α(FC(x) - bias).
-        let scaled_in = ctx.external_input(Value::dense(
-            x.as_dense().unwrap().map(|v| alpha * v),
-        ));
+        let scaled_in = ctx.external_input(Value::dense(x.as_dense().unwrap().map(|v| alpha * v)));
         let y_scaled = fc.run(&mut ctx, &[&scaled_in]).unwrap();
         let zero = ctx.external_input(Value::dense(Tensor::zeros(&[batch, in_f])));
         let bias = fc.run(&mut ctx, &[&zero]).unwrap();
         for i in 0..batch * out_f {
-            let lhs = y_scaled.as_dense().unwrap().as_slice()[i]
-                - bias.as_dense().unwrap().as_slice()[i];
+            let lhs =
+                y_scaled.as_dense().unwrap().as_slice()[i] - bias.as_dense().unwrap().as_slice()[i];
             let rhs = alpha
-                * (y.as_dense().unwrap().as_slice()[i]
-                    - bias.as_dense().unwrap().as_slice()[i]);
-            prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+                * (y.as_dense().unwrap().as_slice()[i] - bias.as_dense().unwrap().as_slice()[i]);
+            assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn sls_is_additive_over_segments(
-        dim in 1usize..8,
-        ids_a in prop::collection::vec(0u32..100, 1..8),
-        ids_b in prop::collection::vec(0u32..100, 1..8),
-        seed in 0u64..500,
-    ) {
+#[test]
+fn sls_is_additive_over_segments() {
+    cases(64, |rng| {
+        let dim = rng.usize_in(1..8);
+        let ids_a = rng.vec_of(1..8, |r| r.u32_in(0..100));
+        let ids_b = rng.vec_of(1..8, |r| r.u32_in(0..100));
+        let seed = rng.u64_in(0..500);
         let mut ctx = ExecContext::new();
         let mut init = ParamInit::new(seed);
         let table = EmbeddingTable::new(100, dim, 100, &mut ctx, &mut init);
@@ -78,22 +74,22 @@ proptest! {
         for d in 0..dim {
             let expect = s.get(&[0, d]).unwrap() + s.get(&[1, d]).unwrap();
             let got = joint_out.as_dense().unwrap().get(&[0, d]).unwrap();
-            prop_assert!((got - expect).abs() < 1e-4);
+            assert!((got - expect).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mean_pooling_equals_sum_divided_by_count(
-        dim in 1usize..8,
-        ids in prop::collection::vec(0u32..50, 1..10),
-        seed in 0u64..500,
-    ) {
+#[test]
+fn mean_pooling_equals_sum_divided_by_count() {
+    cases(64, |rng| {
+        let dim = rng.usize_in(1..8);
+        let ids = rng.vec_of(1..10, |r| r.u32_in(0..50));
+        let seed = rng.u64_in(0..500);
         let mut ctx = ExecContext::new();
         let mut init = ParamInit::new(seed);
         let table = EmbeddingTable::new(50, dim, 50, &mut ctx, &mut init);
         let sum_op = SparseLengthsSum::new(Arc::clone(&table), &mut ctx);
-        let mean_op =
-            SparseLengthsSum::with_mode(Arc::clone(&table), PoolMode::Mean, &mut ctx);
+        let mean_op = SparseLengthsSum::with_mode(Arc::clone(&table), PoolMode::Mean, &mut ctx);
         let n = ids.len() as f32;
         let len = ids.len() as u32;
         let input = ctx.external_input(Value::ids(IdList::new(ids, vec![len])));
@@ -102,69 +98,70 @@ proptest! {
         for d in 0..dim {
             let expect = s.as_dense().unwrap().get(&[0, d]).unwrap() / n;
             let got = m.as_dense().unwrap().get(&[0, d]).unwrap();
-            prop_assert!((got - expect).abs() < 1e-5);
+            assert!((got - expect).abs() < 1e-5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn concat_preserves_every_element(
-        rows in 1usize..5,
-        w1 in 1usize..6,
-        w2 in 1usize..6,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn concat_preserves_every_element() {
+    cases(64, |rng| {
+        let rows = rng.usize_in(1..5);
+        let w1 = rng.usize_in(1..6);
+        let w2 = rng.usize_in(1..6);
+        let seed = rng.u64_in(0..500);
         let mut ctx = ExecContext::new();
         let a = dense_value(&mut ctx, rows, w1, seed);
         let b = dense_value(&mut ctx, rows, w2, seed + 1);
         let cat = Concat::new(&mut ctx);
         let y = cat.run(&mut ctx, &[&a, &b]).unwrap();
         let yt = y.as_dense().unwrap();
-        prop_assert_eq!(yt.dims(), &[rows, w1 + w2]);
+        assert_eq!(yt.dims(), &[rows, w1 + w2]);
         for r in 0..rows {
             for c in 0..w1 {
-                prop_assert_eq!(
+                assert_eq!(
                     yt.get(&[r, c]).unwrap(),
                     a.as_dense().unwrap().get(&[r, c]).unwrap()
                 );
             }
             for c in 0..w2 {
-                prop_assert_eq!(
+                assert_eq!(
                     yt.get(&[r, w1 + c]).unwrap(),
                     b.as_dense().unwrap().get(&[r, c]).unwrap()
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pairwise_dot_is_symmetric_under_input_swap(
-        batch in 1usize..4,
-        dim in 1usize..8,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn pairwise_dot_is_symmetric_under_input_swap() {
+    cases(64, |rng| {
+        let batch = rng.usize_in(1..4);
+        let dim = rng.usize_in(1..8);
+        let seed = rng.u64_in(0..500);
         let mut ctx = ExecContext::new();
         let a = dense_value(&mut ctx, batch, dim, seed);
         let b = dense_value(&mut ctx, batch, dim, seed + 1);
         let pd = PairwiseDot::new(&mut ctx);
         let ab = pd.run(&mut ctx, &[&a, &b]).unwrap();
         let ba = pd.run(&mut ctx, &[&b, &a]).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             ab.as_dense().unwrap().as_slice(),
             ba.as_dense().unwrap().as_slice()
         );
-    }
+    });
+}
 
-    #[test]
-    fn softmax_is_shift_invariant(
-        cols in 1usize..10,
-        shift in -5.0f32..5.0,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn softmax_is_shift_invariant() {
+    cases(64, |rng| {
+        let cols = rng.usize_in(1..10);
+        let shift = rng.f32_in(-5.0..5.0);
+        let seed = rng.u64_in(0..500);
         let mut ctx = ExecContext::new();
         let x = dense_value(&mut ctx, 1, cols, seed);
-        let shifted = ctx.external_input(Value::dense(
-            x.as_dense().unwrap().map(|v| v + shift),
-        ));
+        let shifted = ctx.external_input(Value::dense(x.as_dense().unwrap().map(|v| v + shift)));
         let sm = Softmax::new(&mut ctx);
         let a = sm.run(&mut ctx, &[&x]).unwrap();
         let b = sm.run(&mut ctx, &[&shifted]).unwrap();
@@ -175,16 +172,17 @@ proptest! {
             .iter()
             .zip(b.as_dense().unwrap().as_slice())
         {
-            prop_assert!((x - y).abs() < 1e-5);
+            assert!((x - y).abs() < 1e-5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sum_and_mul_agree_with_tensor_arithmetic(
-        rows in 1usize..4,
-        cols in 1usize..6,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn sum_and_mul_agree_with_tensor_arithmetic() {
+    cases(64, |rng| {
+        let rows = rng.usize_in(1..4);
+        let cols = rng.usize_in(1..6);
+        let seed = rng.u64_in(0..500);
         let mut ctx = ExecContext::new();
         let a = dense_value(&mut ctx, rows, cols, seed);
         let b = dense_value(&mut ctx, rows, cols, seed + 1);
@@ -194,7 +192,7 @@ proptest! {
         let m = mul.run(&mut ctx, &[&a, &b]).unwrap();
         let expect_s = a.as_dense().unwrap().add(b.as_dense().unwrap()).unwrap();
         let expect_m = a.as_dense().unwrap().mul(b.as_dense().unwrap()).unwrap();
-        prop_assert_eq!(s.as_dense().unwrap().as_slice(), expect_s.as_slice());
-        prop_assert_eq!(m.as_dense().unwrap().as_slice(), expect_m.as_slice());
-    }
+        assert_eq!(s.as_dense().unwrap().as_slice(), expect_s.as_slice());
+        assert_eq!(m.as_dense().unwrap().as_slice(), expect_m.as_slice());
+    });
 }

@@ -1,0 +1,308 @@
+//! The dynamic batcher: a bounded MPSC queue that coalesces admitted
+//! requests into batches for the worker pool.
+//!
+//! Admission control happens at the producer side: a request is shed with
+//! [`ServeError::Overloaded`] once the queue is at capacity *or* the
+//! estimated queueing delay (queue depth × per-query service estimate
+//! from the runtime's latency curve) exceeds the configured budget —
+//! DeepRecSys-style SLA protection rather than unbounded buffering.
+//!
+//! Batch formation is deadline-based: a free worker takes the oldest
+//! request, then waits until either `max_batch` requests are queued or
+//! the oldest request has waited `max_wait`, whichever comes first. With
+//! `max_wait = 0` this degenerates to the greedy take-everything-queued
+//! policy of [`drec_core::serving::simulate_queue`], which is what the
+//! load generator uses to cross-validate the analytical model.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+use crate::request::Request;
+
+/// Batching and admission-control parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatcherConfig {
+    /// Largest batch a worker will coalesce.
+    pub max_batch: usize,
+    /// Longest the oldest queued request may wait for co-travellers.
+    pub max_wait: Duration,
+    /// Hard cap on queued (admitted but not yet executing) requests.
+    pub queue_capacity: usize,
+    /// Admission budget on the estimated queueing delay.
+    pub delay_budget: Duration,
+    /// Estimated per-query service time (seconds) at full batch, used for
+    /// the admission-delay estimate; derived from the runtime's
+    /// [`drec_core::serving::LatencyCurve`].
+    pub per_query_service_estimate: f64,
+}
+
+impl BatcherConfig {
+    /// Estimated queueing delay a new arrival would see behind `depth`
+    /// queued requests.
+    pub fn estimated_delay_seconds(&self, depth: usize) -> f64 {
+        depth as f64 * self.per_query_service_estimate
+    }
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    queue: VecDeque<Request>,
+    accepting: bool,
+}
+
+/// The shared queue between producer handles and worker threads.
+#[derive(Debug)]
+pub(crate) struct SharedQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    cfg: BatcherConfig,
+}
+
+impl SharedQueue {
+    pub(crate) fn new(cfg: BatcherConfig) -> Self {
+        SharedQueue {
+            inner: Mutex::new(QueueInner {
+                queue: VecDeque::new(),
+                accepting: true,
+            }),
+            not_empty: Condvar::new(),
+            cfg,
+        }
+    }
+
+    /// Admits `request` or sheds it. Shedding returns the request back to
+    /// the caller so it can deliver the typed error on the reply channel.
+    pub(crate) fn try_push(&self, request: Request) -> Result<(), (Request, ServeError)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if !inner.accepting {
+            return Err((request, ServeError::ShuttingDown));
+        }
+        let depth = inner.queue.len();
+        let estimated = self.cfg.estimated_delay_seconds(depth);
+        if depth >= self.cfg.queue_capacity || estimated > self.cfg.delay_budget.as_secs_f64() {
+            return Err((
+                request,
+                ServeError::Overloaded {
+                    depth,
+                    estimated_delay_seconds: estimated,
+                },
+            ));
+        }
+        inner.queue.push_back(request);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a batch is ready (or shutdown + empty queue, which
+    /// returns `None`). The returned batch is non-empty and at most
+    /// `max_batch` long, in arrival order.
+    pub(crate) fn next_batch(&self) -> Option<Vec<Request>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        // Phase 1: wait for the first request (or drain-complete).
+        loop {
+            if !inner.queue.is_empty() {
+                break;
+            }
+            if !inner.accepting {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+        // Phase 2: coalesce until max_batch or the oldest request's
+        // deadline. The oldest request is still in the queue while we
+        // wait, so competing workers can steal it — both re-check state
+        // after every wake-up.
+        let deadline = inner.queue.front().expect("non-empty").submitted_at + self.cfg.max_wait;
+        loop {
+            if inner.queue.is_empty() {
+                // Another worker stole the whole queue; start over.
+                return self.next_batch_reentry(inner);
+            }
+            let now = Instant::now();
+            if inner.queue.len() >= self.cfg.max_batch || now >= deadline || !inner.accepting {
+                let take = inner.queue.len().min(self.cfg.max_batch);
+                let batch: Vec<Request> = inner.queue.drain(..take).collect();
+                drop(inner);
+                // More work may remain for the next free worker.
+                self.not_empty.notify_one();
+                return Some(batch);
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("queue lock");
+            inner = guard;
+        }
+    }
+
+    fn next_batch_reentry(
+        &self,
+        inner: std::sync::MutexGuard<'_, QueueInner>,
+    ) -> Option<Vec<Request>> {
+        drop(inner);
+        self.next_batch()
+    }
+
+    /// Stops admission; queued work remains for workers to drain.
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.accepting = false;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+
+    /// Current queue depth (racy; for observation only).
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drec_ops::Value;
+    use drec_tensor::Tensor;
+    use std::sync::mpsc;
+
+    fn dummy_request(
+        id: u64,
+    ) -> (
+        Request,
+        mpsc::Receiver<crate::error::Result<crate::Response>>,
+    ) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Request {
+                id,
+                inputs: vec![Value::dense(Tensor::zeros(&[1, 1]))],
+                submitted_at: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    fn cfg(max_batch: usize, capacity: usize) -> BatcherConfig {
+        BatcherConfig {
+            max_batch,
+            max_wait: Duration::ZERO,
+            queue_capacity: capacity,
+            delay_budget: Duration::from_secs(3600),
+            per_query_service_estimate: 0.0,
+        }
+    }
+
+    #[test]
+    fn push_then_batch_preserves_arrival_order() {
+        let q = SharedQueue::new(cfg(8, 100));
+        for id in 0..5 {
+            q.try_push(dummy_request(id).0).unwrap();
+        }
+        let batch = q.next_batch().unwrap();
+        assert_eq!(
+            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn batches_respect_max_batch() {
+        let q = SharedQueue::new(cfg(3, 100));
+        for id in 0..7 {
+            q.try_push(dummy_request(id).0).unwrap();
+        }
+        assert_eq!(q.next_batch().unwrap().len(), 3);
+        assert_eq!(q.next_batch().unwrap().len(), 3);
+        assert_eq!(q.next_batch().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn depth_cap_sheds_with_overloaded() {
+        let q = SharedQueue::new(cfg(8, 2));
+        q.try_push(dummy_request(0).0).unwrap();
+        q.try_push(dummy_request(1).0).unwrap();
+        let (_, err) = q.try_push(dummy_request(2).0).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { depth: 2, .. }));
+    }
+
+    #[test]
+    fn delay_budget_sheds_with_overloaded() {
+        let mut c = cfg(8, 1_000);
+        c.per_query_service_estimate = 1.0; // 1 s per queued query
+        c.delay_budget = Duration::from_millis(1500);
+        let q = SharedQueue::new(c);
+        q.try_push(dummy_request(0).0).unwrap(); // est 0s
+        q.try_push(dummy_request(1).0).unwrap(); // est 1s
+        let (_, err) = q.try_push(dummy_request(2).0).unwrap_err(); // est 2s > 1.5s
+        match err {
+            ServeError::Overloaded {
+                depth,
+                estimated_delay_seconds,
+            } => {
+                assert_eq!(depth, 2);
+                assert!((estimated_delay_seconds - 2.0).abs() < 1e-9);
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn closed_queue_sheds_with_shutting_down() {
+        let q = SharedQueue::new(cfg(8, 100));
+        q.try_push(dummy_request(0).0).unwrap();
+        q.close();
+        let (_, err) = q.try_push(dummy_request(1).0).unwrap_err();
+        assert!(matches!(err, ServeError::ShuttingDown));
+        // Queued work is still drainable.
+        assert_eq!(q.next_batch().unwrap().len(), 1);
+        assert!(q.next_batch().is_none());
+    }
+
+    #[test]
+    fn max_wait_coalesces_late_arrivals() {
+        let c = BatcherConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(200),
+            queue_capacity: 100,
+            delay_budget: Duration::from_secs(3600),
+            per_query_service_estimate: 0.0,
+        };
+        let q = std::sync::Arc::new(SharedQueue::new(c));
+        q.try_push(dummy_request(0).0).unwrap();
+        let pusher = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                q.try_push(dummy_request(1).0).unwrap();
+            })
+        };
+        // The worker should wait past the 30 ms arrival and coalesce both.
+        let batch = q.next_batch().unwrap();
+        pusher.join().unwrap();
+        assert_eq!(batch.len(), 2, "late arrival should join the batch");
+    }
+
+    #[test]
+    fn full_batch_releases_before_deadline() {
+        let c = BatcherConfig {
+            max_batch: 2,
+            max_wait: Duration::from_secs(60),
+            queue_capacity: 100,
+            delay_budget: Duration::from_secs(3600),
+            per_query_service_estimate: 0.0,
+        };
+        let q = SharedQueue::new(c);
+        q.try_push(dummy_request(0).0).unwrap();
+        q.try_push(dummy_request(1).0).unwrap();
+        let start = Instant::now();
+        let batch = q.next_batch().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "must not wait out max_wait"
+        );
+    }
+}

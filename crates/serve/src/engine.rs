@@ -1,0 +1,154 @@
+//! The per-worker inference engine: owns a compiled model plus the
+//! platform latency curve, executes coalesced batches, and reports both
+//! real and modelled timings.
+
+use std::time::Instant;
+
+use drec_core::serving::LatencyCurve;
+use drec_models::{InputSpec, RecModel};
+use drec_ops::Value;
+
+use crate::error::{Result, ServeError};
+use crate::request::{coalesce_inputs, split_outputs, Request};
+
+/// Timings and outputs from one executed batch.
+#[derive(Debug)]
+pub struct BatchExecution {
+    /// Per-request output rows, in the batch's request order.
+    pub per_request_outputs: Vec<Vec<Value>>,
+    /// Real wall-clock execution time of the batch, seconds.
+    pub wall_seconds: f64,
+    /// Modelled per-platform execution time from the latency curve,
+    /// seconds.
+    pub modelled_seconds: f64,
+}
+
+/// One worker's engine: a functionally-executing model and the modelled
+/// latency curve for the platform being emulated.
+#[derive(Debug)]
+pub struct Engine {
+    model: RecModel,
+    curve: LatencyCurve,
+}
+
+impl Engine {
+    /// Wraps a built model and its platform latency curve.
+    pub fn new(model: RecModel, curve: LatencyCurve) -> Self {
+        Engine { model, curve }
+    }
+
+    /// The model's input contract.
+    pub fn spec(&self) -> &InputSpec {
+        self.model.spec()
+    }
+
+    /// The latency curve used for modelled timings.
+    pub fn curve(&self) -> &LatencyCurve {
+        &self.curve
+    }
+
+    /// Coalesces `requests` into one batch, runs it through the model,
+    /// and splits the outputs back per request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerFailed`] when graph execution fails;
+    /// the caller is responsible for fanning the error out to every
+    /// request in the batch.
+    pub fn run_batch(&mut self, requests: &[Request]) -> Result<BatchExecution> {
+        let batch = requests.len();
+        let inputs = coalesce_inputs(self.model.spec(), requests);
+        let start = Instant::now();
+        let outputs = self
+            .model
+            .run(inputs)
+            .map_err(|e| ServeError::WorkerFailed {
+                reason: e.to_string(),
+            })?;
+        let wall_seconds = start.elapsed().as_secs_f64();
+        Ok(BatchExecution {
+            per_request_outputs: split_outputs(&outputs, batch),
+            wall_seconds,
+            modelled_seconds: self.curve.eval(batch),
+        })
+    }
+
+    /// Measures the real wall-clock time of running one `batch`-sized
+    /// inference with generator inputs — used by the load generator to
+    /// calibrate a wall-clock [`LatencyCurve`] for this engine.
+    ///
+    /// Returns the fastest of `repeats` runs to suppress scheduling
+    /// noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerFailed`] when graph execution fails.
+    pub fn measure_batch_seconds(
+        &mut self,
+        gen: &mut drec_workload::QueryGen,
+        batch: usize,
+        repeats: usize,
+    ) -> Result<f64> {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats.max(1) {
+            let inputs = gen.batch(self.model.spec(), batch);
+            let start = Instant::now();
+            self.model
+                .run(inputs)
+                .map_err(|e| ServeError::WorkerFailed {
+                    reason: e.to_string(),
+                })?;
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drec_models::{ModelId, ModelScale};
+    use drec_workload::QueryGen;
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    fn engine() -> Engine {
+        let model = ModelId::Ncf.build(ModelScale::Tiny, 1).unwrap();
+        let curve = LatencyCurve::from_points(vec![(1, 1e-3), (64, 8e-3)]);
+        Engine::new(model, curve)
+    }
+
+    fn requests(n: usize, spec: &InputSpec) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                let (tx, _rx) = mpsc::channel();
+                Request {
+                    id: i as u64,
+                    inputs: QueryGen::uniform(i as u64).batch(spec, 1),
+                    submitted_at: Instant::now(),
+                    reply: tx,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_batch_reports_both_clocks() {
+        let mut e = engine();
+        let reqs = requests(4, &e.spec().clone());
+        let exec = e.run_batch(&reqs).unwrap();
+        assert_eq!(exec.per_request_outputs.len(), 4);
+        assert!(exec.wall_seconds > 0.0);
+        // Modelled time comes from the curve: batch 4 interpolates
+        // between the knots at 1 and 64.
+        assert!(exec.modelled_seconds > 1e-3 && exec.modelled_seconds < 8e-3);
+    }
+
+    #[test]
+    fn measure_batch_returns_positive_time() {
+        let mut e = engine();
+        let mut gen = QueryGen::uniform(9);
+        let t = e.measure_batch_seconds(&mut gen, 8, 2).unwrap();
+        assert!(t > 0.0 && t.is_finite());
+    }
+}

@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors surfaced to clients of the serving runtime.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request was shed at admission: the queue is over its depth or
+    /// estimated-delay budget. Clients should back off and retry.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        depth: usize,
+        /// Estimated queueing delay (seconds) a new arrival would see,
+        /// from the runtime's latency curve.
+        estimated_delay_seconds: f64,
+    },
+    /// The runtime is draining and no longer accepts new work.
+    ShuttingDown,
+    /// The submitted inputs do not match the model's input contract.
+    InvalidInput {
+        /// Index of the offending input slot (or `usize::MAX` for a
+        /// slot-count mismatch).
+        slot: usize,
+        /// What the model's [`drec_models::InputSpec`] expects.
+        expected: String,
+        /// What the request carried.
+        got: String,
+    },
+    /// The worker executing this request's batch failed.
+    WorkerFailed {
+        /// Human-readable failure description (the underlying
+        /// [`drec_graph::GraphError`] rendered per batch).
+        reason: String,
+    },
+    /// The response channel was dropped without a reply (a worker panic
+    /// or a runtime torn down without drain).
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                depth,
+                estimated_delay_seconds,
+            } => write!(
+                f,
+                "overloaded: queue depth {depth}, estimated delay {:.3} ms",
+                estimated_delay_seconds * 1e3
+            ),
+            ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::InvalidInput {
+                slot,
+                expected,
+                got,
+            } => write!(
+                f,
+                "invalid input at slot {slot}: expected {expected}, got {got}"
+            ),
+            ServeError::WorkerFailed { reason } => write!(f, "worker failed: {reason}"),
+            ServeError::Disconnected => write!(f, "response channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Convenience alias for runtime results.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,319 @@
+//! Lock-light live metrics for the serving runtime.
+//!
+//! Everything on the hot path is an atomic: counters are single
+//! `fetch_add`s and latencies land in a log-bucketed histogram (4 buckets
+//! per octave starting at 1 µs), so workers and producers never contend
+//! on a lock to record an observation. Reads are snapshots with relaxed
+//! ordering — monotonic but not mutually consistent, which is fine for
+//! monitoring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: 4 per octave × 26 octaves covers
+/// 1 µs … ~67 s end-to-end latencies.
+const BUCKETS: usize = 104;
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+const BASE_NANOS: f64 = 1_000.0; // 1 µs
+
+/// A log-bucketed latency histogram with atomic buckets.
+///
+/// Bucket `i` covers `[1µs · 2^(i/4), 1µs · 2^((i+1)/4))`; quantile
+/// queries return the geometric midpoint of the bucket holding the
+/// requested rank, so reported quantiles carry at most ~9% relative
+/// bucketing error.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn index(nanos: u64) -> usize {
+        if (nanos as f64) < BASE_NANOS {
+            return 0;
+        }
+        let idx = ((nanos as f64 / BASE_NANOS).log2() * BUCKETS_PER_OCTAVE) as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records an observation given in seconds.
+    pub fn record_seconds(&self, seconds: f64) {
+        self.record(Duration::from_secs_f64(seconds.max(0.0)));
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / n as f64 / 1e9
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in seconds, from bucket midpoints.
+    /// Returns 0 when empty.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Geometric midpoint of bucket i.
+                let lo = BASE_NANOS * 2f64.powf(i as f64 / BUCKETS_PER_OCTAVE);
+                let hi = BASE_NANOS * 2f64.powf((i + 1) as f64 / BUCKETS_PER_OCTAVE);
+                return (lo * hi).sqrt() / 1e9;
+            }
+        }
+        // Unreachable with a consistent count, but stay total.
+        BASE_NANOS * 2f64.powf(BUCKETS as f64 / BUCKETS_PER_OCTAVE) / 1e9
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-worker execution accounting.
+#[derive(Debug, Default)]
+pub struct WorkerMetrics {
+    busy_nanos: AtomicU64,
+    batches: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl WorkerMetrics {
+    /// Records one executed batch of `batch` samples taking `busy`.
+    pub fn record_batch(&self, batch: usize, busy: Duration) {
+        self.busy_nanos.fetch_add(
+            busy.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.samples.fetch_add(batch as u64, Ordering::Relaxed);
+    }
+}
+
+/// The runtime's metrics registry, shared by producers, workers, and
+/// observers.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    rejected_invalid: AtomicU64,
+    completed: AtomicU64,
+    /// End-to-end wall latency (admission → response).
+    pub latency: LatencyHistogram,
+    /// Modelled per-platform batch execution time from the latency curve.
+    pub modelled: LatencyHistogram,
+    workers: Vec<WorkerMetrics>,
+    started_at: Instant,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry for `workers` worker threads.
+    pub fn new(workers: usize) -> Self {
+        MetricsRegistry {
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            modelled: LatencyHistogram::new(),
+            workers: (0..workers).map(|_| WorkerMetrics::default()).collect(),
+            started_at: Instant::now(),
+        }
+    }
+
+    /// Counts one admitted request.
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one shed (overloaded or shutting-down) request.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request rejected for a malformed payload.
+    pub fn record_invalid(&self) {
+        self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed batch: per-worker busy time plus per-request
+    /// end-to-end latencies.
+    pub fn record_batch(&self, worker: usize, batch: usize, busy: Duration) {
+        self.completed.fetch_add(batch as u64, Ordering::Relaxed);
+        if let Some(w) = self.workers.get(worker) {
+            w.record_batch(batch, busy);
+        }
+    }
+
+    /// Point-in-time summary of everything the registry tracks.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let elapsed = self.started_at.elapsed().as_secs_f64().max(1e-9);
+        let batches: u64 = self
+            .workers
+            .iter()
+            .map(|w| w.batches.load(Ordering::Relaxed))
+            .sum();
+        let samples: u64 = self
+            .workers
+            .iter()
+            .map(|w| w.samples.load(Ordering::Relaxed))
+            .sum();
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                samples as f64 / batches as f64
+            },
+            mean_latency_seconds: self.latency.mean_seconds(),
+            p50_seconds: self.latency.quantile_seconds(0.50),
+            p95_seconds: self.latency.quantile_seconds(0.95),
+            p99_seconds: self.latency.quantile_seconds(0.99),
+            modelled_p99_seconds: self.modelled.quantile_seconds(0.99),
+            worker_utilization: self
+                .workers
+                .iter()
+                .map(|w| (w.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9 / elapsed).min(1.0))
+                .collect(),
+            uptime_seconds: elapsed,
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, safe to print or assert on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted past load shedding.
+    pub accepted: u64,
+    /// Requests shed at admission (overload or shutdown).
+    pub shed: u64,
+    /// Requests rejected for malformed payloads.
+    pub rejected_invalid: u64,
+    /// Requests whose response was produced.
+    pub completed: u64,
+    /// Batches executed across all workers.
+    pub batches: u64,
+    /// Mean coalesced batch size.
+    pub mean_batch: f64,
+    /// Mean end-to-end latency, seconds.
+    pub mean_latency_seconds: f64,
+    /// Median end-to-end latency, seconds.
+    pub p50_seconds: f64,
+    /// 95th-percentile end-to-end latency, seconds.
+    pub p95_seconds: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub p99_seconds: f64,
+    /// 99th-percentile modelled batch execution time, seconds.
+    pub modelled_p99_seconds: f64,
+    /// Busy fraction per worker since the registry was created.
+    pub worker_utilization: Vec<f64>,
+    /// Seconds since the registry was created.
+    pub uptime_seconds: f64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of arrivals shed, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        let arrivals = self.accepted + self.shed;
+        if arrivals == 0 {
+            0.0
+        } else {
+            self.shed as f64 / arrivals as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(Duration::from_micros(100));
+        }
+        let p50 = h.quantile_seconds(0.5);
+        // Bucketing error is bounded by one bucket ratio (2^(1/4) ≈ 1.19).
+        assert!(p50 > 80e-6 && p50 < 125e-6, "{p50}");
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean_seconds() - 100e-6).abs() < 5e-6);
+    }
+
+    #[test]
+    fn histogram_orders_quantiles() {
+        let h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let p50 = h.quantile_seconds(0.50);
+        let p95 = h.quantile_seconds(0.95);
+        let p99 = h.quantile_seconds(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 < 1.3e-3, "{p99}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_seconds(0.99), 0.0);
+        assert_eq!(h.mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let m = MetricsRegistry::new(2);
+        m.record_accepted();
+        m.record_accepted();
+        m.record_shed();
+        m.record_batch(0, 2, Duration::from_millis(1));
+        m.latency.record(Duration::from_millis(2));
+        m.latency.record(Duration::from_millis(2));
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.batches, 1);
+        assert!((s.mean_batch - 2.0).abs() < 1e-9);
+        assert!((s.shed_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.worker_utilization.len(), 2);
+        assert!(s.worker_utilization[1] == 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The serving runtime: worker pool, submission handles, and lifecycle.
+//!
+//! ```text
+//! ServeHandle::submit ──try_push──▶ SharedQueue ──next_batch──▶ worker 0..N
+//!        │ (shed: Overloaded)          │                        │
+//!        ▼                             ▼                        ▼
+//!   PendingResponse ◀──per-request mpsc reply── Engine::run_batch
+//! ```
+//!
+//! Every worker owns a full [`Engine`] (model built from the same seed,
+//! so all replicas share parameters); requests are delivered back on
+//! per-request channels, which keeps the runtime lock-free outside the
+//! single batcher queue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use drec_core::serving::LatencyCurve;
+use drec_models::{InputSpec, ModelId, ModelScale};
+use drec_ops::Value;
+
+use crate::batcher::{BatcherConfig, SharedQueue};
+use crate::engine::Engine;
+use crate::error::{Result, ServeError};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::request::{validate_single, Request, RequestId, Response};
+
+/// Configuration for [`ServeRuntime::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Which model every worker serves.
+    pub model: ModelId,
+    /// Scale to build the model at.
+    pub scale: ModelScale,
+    /// Parameter seed (all workers share it, so replicas agree).
+    pub seed: u64,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Largest coalesced batch.
+    pub max_batch: usize,
+    /// Longest the oldest queued request waits for co-travellers.
+    pub max_wait: Duration,
+    /// Queue depth above which arrivals are shed.
+    pub queue_capacity: usize,
+    /// Estimated-queueing-delay budget above which arrivals are shed.
+    pub delay_budget: Duration,
+    /// Latency curve used for modelled batch timings and the
+    /// admission-delay estimate.
+    pub curve: LatencyCurve,
+}
+
+impl ServeConfig {
+    /// A small, fast default suitable for tests: tiny model, 2 workers.
+    pub fn tiny(model: ModelId) -> Self {
+        ServeConfig {
+            model,
+            scale: ModelScale::Tiny,
+            seed: 7,
+            workers: 2,
+            max_batch: 16,
+            max_wait: Duration::ZERO,
+            queue_capacity: 1024,
+            delay_budget: Duration::from_secs(60),
+            curve: LatencyCurve::from_points(vec![(1, 1e-4), (1024, 1e-2)]),
+        }
+    }
+}
+
+/// A running serving runtime. Dropping it without calling
+/// [`ServeRuntime::shutdown`] aborts in-flight work (pending requests see
+/// [`ServeError::Disconnected`]).
+#[derive(Debug)]
+pub struct ServeRuntime {
+    queue: Arc<SharedQueue>,
+    metrics: Arc<MetricsRegistry>,
+    next_id: Arc<AtomicU64>,
+    spec: Arc<InputSpec>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Builds `cfg.workers` engines and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerFailed`] if model construction fails.
+    pub fn start(cfg: ServeConfig) -> Result<ServeRuntime> {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        let per_query = cfg.curve.eval(cfg.max_batch) / cfg.max_batch as f64;
+        let queue = Arc::new(SharedQueue::new(BatcherConfig {
+            max_batch: cfg.max_batch,
+            max_wait: cfg.max_wait,
+            queue_capacity: cfg.queue_capacity,
+            delay_budget: cfg.delay_budget,
+            per_query_service_estimate: per_query,
+        }));
+        let metrics = Arc::new(MetricsRegistry::new(cfg.workers));
+
+        let mut engines = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let model =
+                cfg.model
+                    .build(cfg.scale, cfg.seed)
+                    .map_err(|e| ServeError::WorkerFailed {
+                        reason: format!("model build failed: {e}"),
+                    })?;
+            engines.push(Engine::new(model, cfg.curve.clone()));
+        }
+        let spec = Arc::new(engines[0].spec().clone());
+
+        let workers = engines
+            .into_iter()
+            .enumerate()
+            .map(|(index, engine)| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("drec-serve-worker-{index}"))
+                    .spawn(move || worker_loop(index, engine, &queue, &metrics))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        Ok(ServeRuntime {
+            queue,
+            metrics,
+            next_id: Arc::new(AtomicU64::new(0)),
+            spec,
+            workers,
+        })
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            queue: Arc::clone(&self.queue),
+            metrics: Arc::clone(&self.metrics),
+            next_id: Arc::clone(&self.next_id),
+            spec: Arc::clone(&self.spec),
+        }
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Point-in-time metrics summary.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The served model's input contract.
+    pub fn spec(&self) -> &InputSpec {
+        &self.spec
+    }
+
+    /// Current queue depth (racy; for observation only).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Graceful shutdown: stop admission, let workers drain every
+    /// accepted request, join the pool, and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.metrics.snapshot()
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        // If shutdown() already ran, workers is empty and this is a no-op.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(index: usize, mut engine: Engine, queue: &SharedQueue, metrics: &MetricsRegistry) {
+    while let Some(batch) = queue.next_batch() {
+        let started = Instant::now();
+        match engine.run_batch(&batch) {
+            Ok(exec) => {
+                let busy = started.elapsed();
+                let done = Instant::now();
+                let batch_size = batch.len();
+                metrics.record_batch(index, batch_size, busy);
+                metrics.modelled.record_seconds(exec.modelled_seconds);
+                for (request, outputs) in batch.into_iter().zip(exec.per_request_outputs) {
+                    let wall = (done - request.submitted_at).as_secs_f64();
+                    metrics.latency.record_seconds(wall);
+                    // A dropped receiver just means the client went away.
+                    let _ = request.reply.send(Ok(Response {
+                        id: request.id,
+                        outputs,
+                        batch: batch_size,
+                        wall_seconds: wall,
+                        modelled_seconds: exec.modelled_seconds,
+                        worker: index,
+                    }));
+                }
+            }
+            Err(err) => {
+                let reason = err.to_string();
+                metrics.record_batch(index, 0, started.elapsed());
+                for request in batch {
+                    let _ = request.reply.send(Err(ServeError::WorkerFailed {
+                        reason: reason.clone(),
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// Cloneable client handle for submitting requests.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    queue: Arc<SharedQueue>,
+    metrics: Arc<MetricsRegistry>,
+    next_id: Arc<AtomicU64>,
+    spec: Arc<InputSpec>,
+}
+
+impl ServeHandle {
+    /// Validates and submits one sample (batch-dimension-1 inputs in
+    /// graph input order). Returns a [`PendingResponse`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidInput`] — the payload doesn't match the
+    ///   model's input contract (not counted as shed load),
+    /// * [`ServeError::Overloaded`] — shed by admission control,
+    /// * [`ServeError::ShuttingDown`] — the runtime is draining.
+    pub fn submit(&self, inputs: Vec<Value>) -> Result<PendingResponse> {
+        if let Err(e) = validate_single(&self.spec, &inputs) {
+            self.metrics.record_invalid();
+            return Err(e);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let request = Request {
+            id,
+            inputs,
+            submitted_at: Instant::now(),
+            reply: tx,
+        };
+        match self.queue.try_push(request) {
+            Ok(()) => {
+                self.metrics.record_accepted();
+                Ok(PendingResponse { id, rx })
+            }
+            Err((_request, err)) => {
+                self.metrics.record_shed();
+                Err(err)
+            }
+        }
+    }
+
+    /// The served model's input contract.
+    pub fn spec(&self) -> &InputSpec {
+        &self.spec
+    }
+
+    /// Live metrics snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+/// A submitted request waiting for its response.
+#[derive(Debug)]
+pub struct PendingResponse {
+    id: RequestId,
+    rx: mpsc::Receiver<Result<Response>>,
+}
+
+impl PendingResponse {
+    /// The id assigned at submission.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker-side error, or [`ServeError::Disconnected`]
+    /// if the runtime was torn down without draining.
+    pub fn wait(self) -> Result<Response> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::Disconnected),
+        }
+    }
+
+    /// Non-blocking poll: `None` while the request is in flight.
+    pub fn try_wait(&self) -> Option<Result<Response>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Concurrency invariants for the serving runtime: no request is lost or
+//! duplicated under concurrent producers, coalesced batches respect
+//! `max_batch`, shed requests get the typed [`ServeError::Overloaded`],
+//! and graceful shutdown drains every accepted request.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use drec_core::serving::LatencyCurve;
+use drec_models::{ModelId, ModelScale};
+use drec_serve::{ServeConfig, ServeError, ServeRuntime};
+use drec_workload::QueryGen;
+
+fn config(model: ModelId) -> ServeConfig {
+    ServeConfig {
+        model,
+        scale: ModelScale::Tiny,
+        seed: 7,
+        workers: 2,
+        max_batch: 8,
+        max_wait: Duration::ZERO,
+        queue_capacity: 1 << 20,
+        delay_budget: Duration::from_secs(3600),
+        curve: LatencyCurve::from_points(vec![(1, 1e-4), (1024, 1e-2)]),
+    }
+}
+
+#[test]
+fn no_request_lost_or_duplicated_under_concurrent_producers() {
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 50;
+
+    let runtime = ServeRuntime::start(config(ModelId::Ncf)).unwrap();
+    let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let handle = runtime.handle();
+            let seen = Arc::clone(&seen);
+            std::thread::spawn(move || {
+                let mut gen = QueryGen::uniform(p as u64);
+                for _ in 0..PER_PRODUCER {
+                    let sample = gen.batch(handle.spec(), 1);
+                    let pending = handle.submit(sample).expect("capacity is ample");
+                    let submitted_id = pending.id();
+                    let response = pending.wait().expect("worker must answer");
+                    assert_eq!(response.id, submitted_id);
+                    assert!(response.batch >= 1 && response.batch <= 8);
+                    seen.lock().unwrap().push(response.id);
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+
+    let stats = runtime.shutdown();
+    let ids = seen.lock().unwrap().clone();
+    let total = (PRODUCERS * PER_PRODUCER) as u64;
+    assert_eq!(ids.len() as u64, total, "every request answered once");
+    let unique: HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(unique.len() as u64, total, "no duplicated responses");
+    // Ids are assigned densely from 0, so the set is exactly 0..total.
+    assert_eq!(unique, (0..total).collect());
+    assert_eq!(stats.accepted, total);
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.shed, 0);
+    assert!(stats.mean_latency_seconds > 0.0);
+}
+
+#[test]
+fn coalesced_batches_never_exceed_max_batch() {
+    let mut cfg = config(ModelId::Rm1);
+    cfg.workers = 1;
+    cfg.max_batch = 4;
+    // A long deadline lets the queue pile far past max_batch before the
+    // single worker wakes, so coalescing really is tested at the cap.
+    cfg.max_wait = Duration::from_millis(20);
+    let runtime = ServeRuntime::start(cfg).unwrap();
+    let handle = runtime.handle();
+
+    let mut gen = QueryGen::uniform(3);
+    let pendings: Vec<_> = (0..40)
+        .map(|_| handle.submit(gen.batch(handle.spec(), 1)).unwrap())
+        .collect();
+    for pending in pendings {
+        let response = pending.wait().unwrap();
+        assert!(
+            response.batch >= 1 && response.batch <= 4,
+            "batch {} exceeds max_batch",
+            response.batch
+        );
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 40);
+    assert!(stats.mean_batch <= 4.0 + 1e-9);
+    // 40 requests through batches of ≤4 means at least 10 batches ran.
+    assert!(stats.batches >= 10, "{stats:?}");
+}
+
+#[test]
+fn shed_requests_get_typed_overloaded_error() {
+    let mut cfg = config(ModelId::Ncf);
+    cfg.workers = 1;
+    cfg.max_batch = 2;
+    cfg.queue_capacity = 2;
+    let runtime = ServeRuntime::start(cfg).unwrap();
+    let handle = runtime.handle();
+
+    // Flood far faster than the single worker can drain a depth-2 queue:
+    // submission is a lock push, service is a real model execution.
+    let mut gen = QueryGen::uniform(11);
+    let mut accepted = Vec::new();
+    let mut shed = 0u64;
+    for _ in 0..2_000 {
+        match handle.submit(gen.batch(handle.spec(), 1)) {
+            Ok(pending) => accepted.push(pending),
+            Err(err) => {
+                shed += 1;
+                match err {
+                    ServeError::Overloaded { depth, .. } => {
+                        assert!(depth >= 2, "shed below capacity: depth {depth}")
+                    }
+                    other => panic!("expected Overloaded, got {other}"),
+                }
+            }
+        }
+    }
+    assert!(
+        shed > 0,
+        "a depth-2 queue must shed under a 2k-request flood"
+    );
+
+    // Every accepted request still completes; shed ones never occupy the
+    // queue, so accepted + shed partitions the arrivals exactly.
+    for pending in accepted {
+        pending.wait().unwrap();
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.accepted + stats.shed, 2_000);
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.completed, stats.accepted);
+}
+
+#[test]
+fn shutdown_drains_every_accepted_request() {
+    let mut cfg = config(ModelId::Din);
+    cfg.workers = 2;
+    cfg.max_batch = 64;
+    // A far-future deadline parks queued requests waiting for
+    // co-travellers; shutdown must release and drain them, not strand them.
+    cfg.max_wait = Duration::from_secs(60);
+    let runtime = ServeRuntime::start(cfg).unwrap();
+    let handle = runtime.handle();
+
+    let mut gen = QueryGen::uniform(5);
+    let pendings: Vec<_> = (0..30)
+        .map(|_| handle.submit(gen.batch(handle.spec(), 1)).unwrap())
+        .collect();
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.accepted, 30);
+    assert_eq!(stats.completed, 30, "shutdown stranded requests: {stats:?}");
+    for pending in pendings {
+        let response = pending.wait().expect("drained during shutdown");
+        assert!(!response.outputs.is_empty());
+    }
+
+    // After shutdown the handle sheds with the shutting-down error.
+    let err = handle.submit(gen.batch(handle.spec(), 1)).unwrap_err();
+    assert!(matches!(err, ServeError::ShuttingDown));
+}

@@ -1,44 +1,56 @@
-//! Property-based tests for the tensor substrate.
+//! Property-based tests for the tensor substrate, driven by the
+//! deterministic `drec-check` case harness.
 
+use drec_check::{cases, CaseRng};
 use drec_tensor::{ParamInit, Tensor};
-use proptest::prelude::*;
 
-fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..12, 1usize..12, 1usize..12)
+fn small_dims(rng: &mut CaseRng) -> (usize, usize, usize) {
+    (
+        rng.usize_in(1..12),
+        rng.usize_in(1..12),
+        rng.usize_in(1..12),
+    )
 }
 
 fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
     ParamInit::new(seed).uniform(&[rows, cols], -2.0, 2.0)
 }
 
-proptest! {
-    #[test]
-    fn matmul_identity_is_noop((m, k, _) in small_dims(), seed in 0u64..1000) {
+#[test]
+fn matmul_identity_is_noop() {
+    cases(64, |rng| {
+        let (m, k, _) = small_dims(rng);
+        let seed = rng.u64_in(0..1000);
         let a = tensor(m, k, seed);
         let i = Tensor::eye(k);
         let b = a.matmul(&i).unwrap();
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-5);
+            assert!((x - y).abs() < 1e-5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_is_left_distributive((m, k, n) in small_dims(), seed in 0u64..1000) {
+#[test]
+fn matmul_is_left_distributive() {
+    cases(64, |rng| {
+        let (m, k, n) = small_dims(rng);
+        let seed = rng.u64_in(0..1000);
         let a = tensor(m, k, seed);
         let b = tensor(m, k, seed + 1);
         let c = tensor(k, n, seed + 2);
         let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
         let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_transposed_matches_explicit_transpose(
-        (m, k, n) in small_dims(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn matmul_transposed_matches_explicit_transpose() {
+    cases(64, |rng| {
+        let (m, k, n) = small_dims(rng);
+        let seed = rng.u64_in(0..1000);
         let a = tensor(m, k, seed);
         let w = tensor(n, k, seed + 7);
         // Build wᵀ explicitly.
@@ -51,42 +63,58 @@ proptest! {
         let direct = a.matmul(&wt).unwrap();
         let fused = a.matmul_transposed(&w).unwrap();
         for (x, y) in direct.as_slice().iter().zip(fused.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3);
         }
-    }
+    });
+}
 
-    #[test]
-    fn reshape_preserves_elements((m, k, _) in small_dims(), seed in 0u64..1000) {
+#[test]
+fn reshape_preserves_elements() {
+    cases(64, |rng| {
+        let (m, k, _) = small_dims(rng);
+        let seed = rng.u64_in(0..1000);
         let a = tensor(m, k, seed);
         let r = a.reshape(&[k * m]).unwrap();
-        prop_assert_eq!(a.as_slice(), r.as_slice());
+        assert_eq!(a.as_slice(), r.as_slice());
         let back = r.reshape(&[m, k]).unwrap();
-        prop_assert_eq!(back, a);
-    }
+        assert_eq!(back, a);
+    });
+}
 
-    #[test]
-    fn dot_is_commutative(len in 1usize..64, seed in 0u64..1000) {
+#[test]
+fn dot_is_commutative() {
+    cases(64, |rng| {
+        let len = rng.usize_in(1..64);
+        let seed = rng.u64_in(0..1000);
         let a = ParamInit::new(seed).uniform(&[len], -1.0, 1.0);
         let b = ParamInit::new(seed + 1).uniform(&[len], -1.0, 1.0);
         let ab = a.dot(&b).unwrap();
         let ba = b.dot(&a).unwrap();
-        prop_assert!((ab - ba).abs() < 1e-5);
-    }
+        assert!((ab - ba).abs() < 1e-5);
+    });
+}
 
-    #[test]
-    fn map_then_sum_matches_manual(len in 1usize..64, seed in 0u64..1000) {
+#[test]
+fn map_then_sum_matches_manual() {
+    cases(64, |rng| {
+        let len = rng.usize_in(1..64);
+        let seed = rng.u64_in(0..1000);
         let a = ParamInit::new(seed).uniform(&[len], -1.0, 1.0);
         let doubled = a.map(|v| 2.0 * v);
-        prop_assert!((doubled.sum() - 2.0 * a.sum()).abs() < 1e-4);
-    }
+        assert!((doubled.sum() - 2.0 * a.sum()).abs() < 1e-4);
+    });
+}
 
-    #[test]
-    fn row_views_tile_the_matrix((m, k, _) in small_dims(), seed in 0u64..1000) {
+#[test]
+fn row_views_tile_the_matrix() {
+    cases(64, |rng| {
+        let (m, k, _) = small_dims(rng);
+        let seed = rng.u64_in(0..1000);
         let a = tensor(m, k, seed);
         let mut collected = Vec::new();
         for r in 0..m {
             collected.extend_from_slice(a.row(r).unwrap());
         }
-        prop_assert_eq!(collected.as_slice(), a.as_slice());
-    }
+        assert_eq!(collected.as_slice(), a.as_slice());
+    });
 }

@@ -1,49 +1,61 @@
-//! Property-based tests for trace invariants.
+//! Property-based tests for trace invariants, driven by the deterministic
+//! `drec-check` case harness.
 
+use drec_check::cases;
 use drec_trace::{AccessKind, BranchProfile, SampledMemTrace, WorkVector};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn sampler_total_is_exact(period in 1u64..64, n in 0u64..2_000) {
+#[test]
+fn sampler_total_is_exact() {
+    cases(64, |rng| {
+        let period = rng.u64_in(1..64);
+        let n = rng.u64_in(0..2_000);
         let mut t = SampledMemTrace::with_period(period);
         for i in 0..n {
             t.record(i * 64, 64, AccessKind::Read);
         }
-        prop_assert_eq!(t.total_events(), n);
+        assert_eq!(t.total_events(), n);
         // Sampled count is within one of n/period.
         let expect = n.div_ceil(period);
-        prop_assert!(t.events().len() as u64 <= expect.max(1));
-    }
+        assert!(t.events().len() as u64 <= expect.max(1));
+    });
+}
 
-    #[test]
-    fn scale_reconstructs_total(period in 1u64..64, n in 1u64..2_000) {
+#[test]
+fn scale_reconstructs_total() {
+    cases(64, |rng| {
+        let period = rng.u64_in(1..64);
+        let n = rng.u64_in(1..2_000);
         let mut t = SampledMemTrace::with_period(period);
         for i in 0..n {
             t.record(i * 64, 64, AccessKind::Write);
         }
         if !t.events().is_empty() {
             let reconstructed = t.scale() * t.events().len() as f64;
-            prop_assert!((reconstructed - n as f64).abs() < 1e-9);
+            assert!((reconstructed - n as f64).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn record_range_covers_every_line(addr in 0u64..1_000_000, bytes in 1u64..4_096) {
+#[test]
+fn record_range_covers_every_line() {
+    cases(64, |rng| {
+        let addr = rng.u64_in(0..1_000_000);
+        let bytes = rng.u64_in(1..4_096);
         let mut t = SampledMemTrace::with_period(1);
         t.record_range(addr, bytes, AccessKind::Read);
         let first = addr / 64;
         let last = (addr + bytes - 1) / 64;
-        prop_assert_eq!(t.events().len() as u64, last - first + 1);
-        prop_assert_eq!(t.events()[0].addr, first * 64);
-    }
+        assert_eq!(t.events().len() as u64, last - first + 1);
+        assert_eq!(t.events()[0].addr, first * 64);
+    });
+}
 
-    #[test]
-    fn work_combine_is_commutative(
-        f1 in 0.0f64..1e6, f2 in 0.0f64..1e6,
-        g1 in 0.0f64..1e4, g2 in 0.0f64..1e4,
-        v1 in 0.0f64..1.0, v2 in 0.0f64..1.0,
-    ) {
+#[test]
+fn work_combine_is_commutative() {
+    cases(64, |rng| {
+        let (f1, f2) = (rng.f64_in(0.0..1e6), rng.f64_in(0.0..1e6));
+        let (g1, g2) = (rng.f64_in(0.0..1e4), rng.f64_in(0.0..1e4));
+        let (v1, v2) = (rng.f64_in(0.0..1.0), rng.f64_in(0.0..1.0));
         let a = WorkVector {
             fma_flops: f1,
             gather_rows: g1,
@@ -60,41 +72,71 @@ proptest! {
         };
         let ab = a.combine(&b);
         let ba = b.combine(&a);
-        prop_assert!((ab.fma_flops - ba.fma_flops).abs() < 1e-9);
-        prop_assert!((ab.gather_bytes() - ba.gather_bytes()).abs() < 1e-6);
-        prop_assert!((ab.vectorizable - ba.vectorizable).abs() < 1e-9);
-    }
+        assert!((ab.fma_flops - ba.fma_flops).abs() < 1e-9);
+        assert!((ab.gather_bytes() - ba.gather_bytes()).abs() < 1e-6);
+        assert!((ab.vectorizable - ba.vectorizable).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn work_combine_preserves_totals(
-        f1 in 0.0f64..1e6, f2 in 0.0f64..1e6, o1 in 0.0f64..1e6, o2 in 0.0f64..1e6,
-    ) {
-        let a = WorkVector { fma_flops: f1, other_flops: o1, ..WorkVector::default() };
-        let b = WorkVector { fma_flops: f2, other_flops: o2, ..WorkVector::default() };
+#[test]
+fn work_combine_preserves_totals() {
+    cases(64, |rng| {
+        let (f1, f2) = (rng.f64_in(0.0..1e6), rng.f64_in(0.0..1e6));
+        let (o1, o2) = (rng.f64_in(0.0..1e6), rng.f64_in(0.0..1e6));
+        let a = WorkVector {
+            fma_flops: f1,
+            other_flops: o1,
+            ..WorkVector::default()
+        };
+        let b = WorkVector {
+            fma_flops: f2,
+            other_flops: o2,
+            ..WorkVector::default()
+        };
         let c = a.combine(&b);
-        prop_assert!((c.total_flops() - (f1 + f2 + o1 + o2)).abs() < 1e-6);
-    }
+        assert!((c.total_flops() - (f1 + f2 + o1 + o2)).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn combined_vectorizable_stays_in_unit_interval(
-        f1 in 0.0f64..1e6, f2 in 0.0f64..1e6,
-        v1 in 0.0f64..1.0, v2 in 0.0f64..1.0,
-    ) {
-        let a = WorkVector { fma_flops: f1, vectorizable: v1, ..WorkVector::default() };
-        let b = WorkVector { fma_flops: f2, vectorizable: v2, ..WorkVector::default() };
+#[test]
+fn combined_vectorizable_stays_in_unit_interval() {
+    cases(64, |rng| {
+        let (f1, f2) = (rng.f64_in(0.0..1e6), rng.f64_in(0.0..1e6));
+        let (v1, v2) = (rng.f64_in(0.0..1.0), rng.f64_in(0.0..1.0));
+        let a = WorkVector {
+            fma_flops: f1,
+            vectorizable: v1,
+            ..WorkVector::default()
+        };
+        let b = WorkVector {
+            fma_flops: f2,
+            vectorizable: v2,
+            ..WorkVector::default()
+        };
         let c = a.combine(&b);
-        prop_assert!((0.0..=1.0).contains(&c.vectorizable));
-    }
+        assert!((0.0..=1.0).contains(&c.vectorizable));
+    });
+}
 
-    #[test]
-    fn branch_combine_total_is_sum(
-        l1 in 0.0f64..1e6, l2 in 0.0f64..1e6,
-        d1 in 0.0f64..1e6, d2 in 0.0f64..1e6,
-    ) {
-        let a = BranchProfile { loop_branches: l1, data_branches: d1, data_taken_rate: 0.4, indirect_branches: 1.0 };
-        let b = BranchProfile { loop_branches: l2, data_branches: d2, data_taken_rate: 0.8, indirect_branches: 2.0 };
+#[test]
+fn branch_combine_total_is_sum() {
+    cases(64, |rng| {
+        let (l1, l2) = (rng.f64_in(0.0..1e6), rng.f64_in(0.0..1e6));
+        let (d1, d2) = (rng.f64_in(0.0..1e6), rng.f64_in(0.0..1e6));
+        let a = BranchProfile {
+            loop_branches: l1,
+            data_branches: d1,
+            data_taken_rate: 0.4,
+            indirect_branches: 1.0,
+        };
+        let b = BranchProfile {
+            loop_branches: l2,
+            data_branches: d2,
+            data_taken_rate: 0.8,
+            indirect_branches: 2.0,
+        };
         let c = a.combine(&b);
-        prop_assert!((c.total() - (a.total() + b.total())).abs() < 1e-6);
-        prop_assert!((0.0..=1.0).contains(&c.data_taken_rate));
-    }
+        assert!((c.total() - (a.total() + b.total())).abs() < 1e-6);
+        assert!((0.0..=1.0).contains(&c.data_taken_rate));
+    });
 }

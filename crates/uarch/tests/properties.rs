@@ -1,11 +1,12 @@
-//! Property-based tests for the microarchitecture simulators.
+//! Property-based tests for the microarchitecture simulators, driven by
+//! the deterministic `drec-check` case harness.
 
+use drec_check::cases;
 use drec_trace::{AccessKind, BranchProfile, SampledMemTrace};
 use drec_uarch::{
     BranchSynth, CacheConfig, CacheHierarchy, CacheSim, GshareConfig, HierarchyConfig,
     InclusionPolicy, PortConfig, PortScheduler, UopMix,
 };
-use proptest::prelude::*;
 
 fn cache_cfg(kb: usize, ways: usize) -> CacheConfig {
     CacheConfig {
@@ -15,37 +16,40 @@ fn cache_cfg(kb: usize, ways: usize) -> CacheConfig {
     }
 }
 
-proptest! {
-    #[test]
-    fn cache_misses_never_exceed_accesses(
-        addrs in prop::collection::vec(0u64..(1 << 24), 1..500),
-    ) {
+#[test]
+fn cache_misses_never_exceed_accesses() {
+    cases(64, |rng| {
+        let addrs = rng.vec_of(1..500, |r| r.u64_in(0..(1 << 24)));
         let mut sim = CacheSim::new(cache_cfg(16, 4));
         for a in addrs {
             sim.access(a, 1.0);
         }
-        prop_assert!(sim.misses() <= sim.accesses());
-        prop_assert!(sim.miss_ratio() <= 1.0);
-    }
+        assert!(sim.misses() <= sim.accesses());
+        assert!(sim.miss_ratio() <= 1.0);
+    });
+}
 
-    #[test]
-    fn resident_working_set_hits_on_second_pass(lines in 1u64..32) {
+#[test]
+fn resident_working_set_hits_on_second_pass() {
+    cases(64, |rng| {
         // `lines` contiguous lines fit easily in a 16 KiB cache.
+        let lines = rng.u64_in(1..32);
         let mut sim = CacheSim::new(cache_cfg(16, 4));
         for l in 0..lines {
             sim.access(l * 64, 1.0);
         }
         let misses_after_first = sim.misses();
         for l in 0..lines {
-            prop_assert!(sim.access(l * 64, 1.0), "line {l} should hit");
+            assert!(sim.access(l * 64, 1.0), "line {l} should hit");
         }
-        prop_assert_eq!(sim.misses(), misses_after_first);
-    }
+        assert_eq!(sim.misses(), misses_after_first);
+    });
+}
 
-    #[test]
-    fn hierarchy_levels_partition_accesses(
-        addrs in prop::collection::vec(0u64..(1 << 26), 1..400),
-    ) {
+#[test]
+fn hierarchy_levels_partition_accesses() {
+    cases(64, |rng| {
+        let addrs = rng.vec_of(1..400, |r| r.u64_in(0..(1 << 26)));
         let mut h = CacheHierarchy::new(HierarchyConfig {
             l1: cache_cfg(4, 4),
             l2: cache_cfg(16, 8),
@@ -59,16 +63,17 @@ proptest! {
         }
         let stats = h.run_trace(&t);
         let sum = stats.l1_hits + stats.l2_hits + stats.l3_hits + stats.dram_accesses;
-        prop_assert!((sum - stats.accesses).abs() < 1e-9);
-        prop_assert_eq!(stats.accesses as usize, addrs.len());
-    }
+        assert!((sum - stats.accesses).abs() < 1e-9);
+        assert_eq!(stats.accesses as usize, addrs.len());
+    });
+}
 
-    #[test]
-    fn branch_stats_are_bounded(
-        loops in 0.0f64..100_000.0,
-        data in 0.0f64..100_000.0,
-        rate in 0.0f64..1.0,
-    ) {
+#[test]
+fn branch_stats_are_bounded() {
+    cases(64, |rng| {
+        let loops = rng.f64_in(0.0..100_000.0);
+        let data = rng.f64_in(0.0..100_000.0);
+        let rate = rng.f64_in(0.0..1.0);
         let mut synth = BranchSynth::new(GshareConfig {
             table_bits: 12,
             history_bits: 10,
@@ -83,16 +88,17 @@ proptest! {
             },
             1,
         );
-        prop_assert!(stats.mispredicts >= 0.0);
-        prop_assert!(stats.mispredicts <= stats.branches + 1e-9);
-    }
+        assert!(stats.mispredicts >= 0.0);
+        assert!(stats.mispredicts <= stats.branches + 1e-9);
+    });
+}
 
-    #[test]
-    fn port_cycles_respect_throughput_bounds(
-        scalar in 0.0f64..50_000.0,
-        vec in 0.0f64..50_000.0,
-        loads in 0.0f64..50_000.0,
-    ) {
+#[test]
+fn port_cycles_respect_throughput_bounds() {
+    cases(64, |rng| {
+        let scalar = rng.f64_in(0.0..50_000.0);
+        let vec = rng.f64_in(0.0..50_000.0);
+        let loads = rng.f64_in(0.0..50_000.0);
         let cfg = PortConfig {
             issue_width: 4,
             alu_ports: 4,
@@ -114,18 +120,27 @@ proptest! {
         let total = mix.total();
         if total > 1_000.0 {
             // Lower bound: issue width; per-class port limits.
-            let min_cycles = (total / 4.0).max(vec / 2.0).max(loads / 2.0).max(scalar / 4.0);
-            prop_assert!(stats.cycles >= min_cycles * 0.85, "{} < {}", stats.cycles, min_cycles);
+            let min_cycles = (total / 4.0)
+                .max(vec / 2.0)
+                .max(loads / 2.0)
+                .max(scalar / 4.0);
+            assert!(
+                stats.cycles >= min_cycles * 0.85,
+                "{} < {}",
+                stats.cycles,
+                min_cycles
+            );
             // Upper bound: every μop issued alone.
-            prop_assert!(stats.cycles <= total * 1.2 + 16.0);
+            assert!(stats.cycles <= total * 1.2 + 16.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fu_histogram_accounts_all_cycles(
-        scalar in 100.0f64..20_000.0,
-        vec in 100.0f64..20_000.0,
-    ) {
+#[test]
+fn fu_histogram_accounts_all_cycles() {
+    cases(64, |rng| {
+        let scalar = rng.f64_in(100.0..20_000.0);
+        let vec = rng.f64_in(100.0..20_000.0);
         let cfg = PortConfig {
             issue_width: 4,
             alu_ports: 4,
@@ -143,6 +158,6 @@ proptest! {
             ..UopMix::default()
         });
         let hist_sum: f64 = stats.busy_hist.iter().sum();
-        prop_assert!((hist_sum - stats.cycles).abs() / stats.cycles < 1e-6);
-    }
+        assert!((hist_sum - stats.cycles).abs() / stats.cycles < 1e-6);
+    });
 }

@@ -12,7 +12,9 @@
 //! * [`uarch`] — microarchitecture component simulators,
 //! * [`hwsim`] — CPU/GPU platform performance models (Table II),
 //! * [`analysis`] — regression and report rendering,
-//! * [`core`] — the cross-stack characterization harness.
+//! * [`core`] — the cross-stack characterization harness,
+//! * [`serve`] — a concurrent inference serving runtime (dynamic batching,
+//!   load shedding, live metrics).
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@ pub use drec_graph as graph;
 pub use drec_hwsim as hwsim;
 pub use drec_models as models;
 pub use drec_ops as ops;
+pub use drec_serve as serve;
 pub use drec_tensor as tensor;
 pub use drec_trace as trace;
 pub use drec_uarch as uarch;

@@ -7,7 +7,9 @@ use deeprec::core::sweep::sweep_parallel;
 use deeprec::core::{CharacterizeOptions, Characterizer};
 use deeprec::hwsim::{energy, Platform, PlatformReport};
 use deeprec::models::{ModelId, ModelScale};
+use deeprec::serve::{ServeConfig, ServeRuntime};
 use deeprec::trace::KernelClass;
+use deeprec::workload::QueryGen;
 
 #[test]
 fn serving_analysis_over_a_real_sweep() {
@@ -28,6 +30,41 @@ fn serving_analysis_over_a_real_sweep() {
     assert!(generous.iter().all(|p| p.qps <= best.qps));
     // An impossible SLA admits nobody.
     assert!(best_server(&result, ModelId::Rm1, 1e-12).is_none());
+}
+
+#[test]
+fn serving_runtime_executes_sweep_backed_traffic() {
+    // The modelled curve from a real sweep prices the runtime's admission
+    // control, closing the loop between analytics and execution.
+    let result = sweep_parallel(
+        &[ModelId::Rm1],
+        &[1, 16, 256],
+        &Platform::all(),
+        ModelScale::Tiny,
+        CharacterizeOptions::fast(),
+    )
+    .expect("sweep");
+    let curve = LatencyCurve::from_sweep(&result, ModelId::Rm1, "Cascade Lake").expect("curve");
+    let mut cfg = ServeConfig::tiny(ModelId::Rm1);
+    cfg.curve = curve;
+    let runtime = ServeRuntime::start(cfg).expect("runtime starts");
+    let handle = runtime.handle();
+    let mut gen = QueryGen::uniform(3);
+    let pendings: Vec<_> = (0..20)
+        .map(|_| {
+            handle
+                .submit(gen.batch(runtime.spec(), 1))
+                .expect("admitted")
+        })
+        .collect();
+    for pending in pendings {
+        let response = pending.wait().expect("answered");
+        assert!(response.modelled_seconds > 0.0);
+        assert!(response.wall_seconds > 0.0);
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 20);
+    assert_eq!(stats.shed, 0);
 }
 
 #[test]
