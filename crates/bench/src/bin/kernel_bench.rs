@@ -1,0 +1,457 @@
+//! Old-vs-new kernel benchmarks for the intra-op parallelism stack:
+//! register-blocked GEMM against the seed scalar kernels, embedding
+//! pooling, and end-to-end RM2/DIEN forward passes across batch sizes,
+//! plus the determinism contract (parallel output bit-identical to
+//! sequential). Writes `BENCH_kernels.json`.
+//!
+//! Flags:
+//!
+//! * `--smoke` — tiny shapes, correctness assertions only (CI mode),
+//! * `--tiny` — tiny model scale for the end-to-end section,
+//! * `--quick` — fewer timing repeats.
+//!
+//! The performance gates run in full mode only: the blocked transposed
+//! GEMM must beat the seed scalar kernel by ≥3× at 512³ on one thread,
+//! and `DREC_THREADS=4` must add further speedup when the host actually
+//! has multiple cores (on a single-core host the multi-thread gate is
+//! reported but not enforced).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use drec_models::{ModelId, ModelScale};
+use drec_ops::{EmbeddingTable, ExecContext, IdList, Operator, SparseLengthsSum, Value};
+use drec_par::ParPool;
+use drec_tensor::ParamInit;
+use drec_workload::QueryGen;
+
+/// Required single-thread speedup of the blocked transposed GEMM over the
+/// seed scalar kernel at 512³ (full mode only).
+const GEMM_SPEEDUP_GATE: f64 = 3.0;
+
+struct Args {
+    smoke: bool,
+    tiny: bool,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        tiny: false,
+        quick: false,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--tiny" => args.tiny = true,
+            "--quick" => args.quick = true,
+            other => {
+                eprintln!("warning: unknown argument '{other}' (supported: --smoke --tiny --quick)")
+            }
+        }
+    }
+    args
+}
+
+/// Fastest of `repeats` runs, seconds.
+fn time_min<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// One square GEMM size: times the seed scalar kernels against the blocked
+/// kernels on a single-thread pool and checks the results agree.
+struct GemmRow {
+    size: usize,
+    ref_t_seconds: f64,
+    blocked_t_seconds: f64,
+    t_speedup: f64,
+    ref_mm_seconds: f64,
+    blocked_mm_seconds: f64,
+    mm_speedup: f64,
+}
+
+fn bench_gemm(size: usize, repeats: usize) -> GemmRow {
+    let mut init = ParamInit::new(0x6E_u64 + size as u64);
+    let a = init.uniform(&[size, size], -1.0, 1.0);
+    let b = init.uniform(&[size, size], -1.0, 1.0);
+    let single = ParPool::new(1);
+    drec_par::with_pool(&single, || {
+        let ref_t_seconds = time_min(repeats, || a.matmul_transposed_reference(&b).unwrap());
+        let blocked_t_seconds = time_min(repeats, || a.matmul_transposed(&b).unwrap());
+        let ref_mm_seconds = time_min(repeats, || a.matmul_reference(&b).unwrap());
+        let blocked_mm_seconds = time_min(repeats, || a.matmul(&b).unwrap());
+        GemmRow {
+            size,
+            ref_t_seconds,
+            blocked_t_seconds,
+            t_speedup: ref_t_seconds / blocked_t_seconds,
+            ref_mm_seconds,
+            blocked_mm_seconds,
+            mm_speedup: ref_mm_seconds / blocked_mm_seconds,
+        }
+    })
+}
+
+/// Blocked transposed GEMM wall time at `size`³ on a pool of `threads`.
+fn bench_gemm_threads(size: usize, threads: usize, repeats: usize) -> f64 {
+    let mut init = ParamInit::new(0x7E);
+    let a = init.uniform(&[size, size], -1.0, 1.0);
+    let b = init.uniform(&[size, size], -1.0, 1.0);
+    let pool = ParPool::new(threads);
+    drec_par::with_pool(&pool, || {
+        time_min(repeats, || a.matmul_transposed(&b).unwrap())
+    })
+}
+
+/// Asserts the blocked kernels produce bit-identical output on pools of
+/// every size (the determinism contract), on shapes that exercise the
+/// register-block edge paths.
+fn check_gemm_determinism() {
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (3, 129, 5),
+        (257, 63, 33),
+        (64, 64, 64),
+    ];
+    for &(m, k, n) in &shapes {
+        let mut init = ParamInit::new((m * 1000 + k * 10 + n) as u64);
+        let a = init.uniform(&[m, k], -1.0, 1.0);
+        let bt = init.uniform(&[n, k], -1.0, 1.0);
+        let b = init.uniform(&[k, n], -1.0, 1.0);
+        let base_t = drec_par::with_pool(&ParPool::new(1), || a.matmul_transposed(&bt).unwrap());
+        let base_mm = drec_par::with_pool(&ParPool::new(1), || a.matmul(&b).unwrap());
+        for threads in [2usize, 4, 8] {
+            let pool = ParPool::new(threads);
+            let (par_t, par_mm) = drec_par::with_pool(&pool, || {
+                (a.matmul_transposed(&bt).unwrap(), a.matmul(&b).unwrap())
+            });
+            assert_eq!(
+                base_t.as_slice(),
+                par_t.as_slice(),
+                "matmul_transposed {m}x{k}x{n} differs at {threads} threads"
+            );
+            assert_eq!(
+                base_mm.as_slice(),
+                par_mm.as_slice(),
+                "matmul {m}x{k}x{n} differs at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Deterministic id stream for the pooling benchmark.
+fn pooled_ids(batch: usize, lookups_per_sample: usize, rows: u32, seed: u64) -> IdList {
+    let mut state = seed | 1;
+    let ids = (0..batch * lookups_per_sample)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % u64::from(rows)) as u32
+        })
+        .collect();
+    IdList::new(ids, vec![lookups_per_sample as u32; batch])
+}
+
+struct EmbedRow {
+    batch: usize,
+    seconds_1t: f64,
+    seconds_4t: f64,
+}
+
+/// Times pooled embedding lookups (SparseLengthsSum, tracing off) at one
+/// and four pool threads, and asserts both produce identical output.
+fn bench_embedding(batches: &[usize], dim: usize, lookups: usize, repeats: usize) -> Vec<EmbedRow> {
+    let mut ctx = ExecContext::new();
+    let mut init = ParamInit::new(0xE_5);
+    let table = EmbeddingTable::new(1_000_000, dim, 65_536, &mut ctx, &mut init);
+    let sls = SparseLengthsSum::new(Arc::clone(&table), &mut ctx);
+    let one = ParPool::new(1);
+    let four = ParPool::new(4);
+    batches
+        .iter()
+        .map(|&batch| {
+            let ids = ctx.external_input(Value::ids(pooled_ids(batch, lookups, 999_983, 0xBA7)));
+            let out_1t = drec_par::with_pool(&one, || sls.run(&mut ctx, &[&ids]).unwrap());
+            let out_4t = drec_par::with_pool(&four, || sls.run(&mut ctx, &[&ids]).unwrap());
+            assert_eq!(
+                out_1t.as_dense().unwrap().as_slice(),
+                out_4t.as_dense().unwrap().as_slice(),
+                "pooled embedding batch {batch} differs across pool sizes"
+            );
+            let seconds_1t =
+                drec_par::with_pool(&one, || time_min(repeats, || sls.run(&mut ctx, &[&ids])));
+            let seconds_4t =
+                drec_par::with_pool(&four, || time_min(repeats, || sls.run(&mut ctx, &[&ids])));
+            EmbedRow {
+                batch,
+                seconds_1t,
+                seconds_4t,
+            }
+        })
+        .collect()
+}
+
+struct ModelRow {
+    model: &'static str,
+    batch: usize,
+    seconds: f64,
+}
+
+/// Times end-to-end forward passes and asserts outputs are bit-identical
+/// across pool sizes.
+fn bench_models(
+    models: &[ModelId],
+    scale: ModelScale,
+    batches: &[usize],
+    repeats: usize,
+) -> Vec<ModelRow> {
+    let one = ParPool::new(1);
+    let four = ParPool::new(4);
+    let mut rows = Vec::new();
+    for &id in models {
+        let mut model = id.build(scale, 11).expect("model builds");
+        let mut gen = QueryGen::uniform(0xD1E);
+        for &batch in batches {
+            let inputs = gen.batch(model.spec(), batch);
+            let out_1t = drec_par::with_pool(&one, || model.run(inputs.clone()).unwrap());
+            let out_4t = drec_par::with_pool(&four, || model.run(inputs.clone()).unwrap());
+            for (a, b) in out_1t.iter().zip(&out_4t) {
+                assert_eq!(
+                    a.as_dense().unwrap().as_slice(),
+                    b.as_dense().unwrap().as_slice(),
+                    "{} batch {batch} output differs across pool sizes",
+                    id.name()
+                );
+            }
+            let seconds = time_min(repeats, || model.run(inputs.clone()).unwrap());
+            println!("  {:<5} batch {batch:>5}: {}", id.name(), fmt_secs(seconds));
+            rows.push(ModelRow {
+                model: id.name(),
+                batch,
+                seconds,
+            });
+        }
+    }
+    rows
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    host_parallelism: usize,
+    smoke: bool,
+    scale: ModelScale,
+    gemm: &[GemmRow],
+    threads_sweep: &[(usize, f64)],
+    embedding: &[EmbedRow],
+    models: &[ModelRow],
+    gate_speedup: Option<f64>,
+    threads4_speedup: Option<f64>,
+) {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"host\": {{\"parallelism\": {host_parallelism}}},\n  \"mode\": \"{}\",\n  \"model_scale\": \"{scale:?}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    s.push_str("  \"gemm_single_thread\": [\n");
+    for (i, r) in gemm.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"size\": {}, \"transposed_ref_seconds\": {}, \"transposed_blocked_seconds\": {}, \"transposed_speedup\": {}, \"matmul_ref_seconds\": {}, \"matmul_blocked_seconds\": {}, \"matmul_speedup\": {}}}{}\n",
+            r.size,
+            json_f64(r.ref_t_seconds),
+            json_f64(r.blocked_t_seconds),
+            json_f64(r.t_speedup),
+            json_f64(r.ref_mm_seconds),
+            json_f64(r.blocked_mm_seconds),
+            json_f64(r.mm_speedup),
+            if i + 1 < gemm.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"gemm_thread_sweep\": [\n");
+    for (i, (threads, seconds)) in threads_sweep.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {threads}, \"seconds\": {}}}{}\n",
+            json_f64(*seconds),
+            if i + 1 < threads_sweep.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"embedding_pooling\": [\n");
+    for (i, r) in embedding.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"batch\": {}, \"seconds_1_thread\": {}, \"seconds_4_threads\": {}}}{}\n",
+            r.batch,
+            json_f64(r.seconds_1t),
+            json_f64(r.seconds_4t),
+            if i + 1 < embedding.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"end_to_end\": [\n");
+    for (i, r) in models.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"batch\": {}, \"seconds\": {}}}{}\n",
+            r.model,
+            r.batch,
+            json_f64(r.seconds),
+            if i + 1 < models.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"checks\": {\n");
+    s.push_str("    \"parallel_bit_identical\": true,\n");
+    s.push_str(&format!(
+        "    \"gemm_512_single_thread_speedup\": {},\n",
+        gate_speedup.map_or("null".to_string(), json_f64)
+    ));
+    s.push_str(&format!(
+        "    \"gemm_512_speedup_gate\": {GEMM_SPEEDUP_GATE},\n    \"threads4_speedup\": {}\n",
+        threads4_speedup.map_or("null".to_string(), json_f64)
+    ));
+    s.push_str("  }\n}\n");
+    std::fs::write(path, s).expect("write BENCH_kernels.json");
+}
+
+fn main() {
+    let args = parse_args();
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scale = if args.tiny || args.smoke {
+        ModelScale::Tiny
+    } else {
+        ModelScale::Paper
+    };
+    println!(
+        "kernel_bench: host parallelism {host_parallelism}, {} mode, {scale:?} model scale",
+        if args.smoke { "smoke" } else { "full" }
+    );
+
+    println!("Checking parallel == sequential (bit-identical) on GEMM edge shapes...");
+    check_gemm_determinism();
+    println!("  ok");
+
+    let gemm_sizes: &[usize] = if args.smoke { &[48] } else { &[128, 512] };
+    let gemm_repeats = if args.smoke || args.quick { 2 } else { 5 };
+    println!("GEMM old-vs-new, single thread:");
+    let gemm: Vec<GemmRow> = gemm_sizes
+        .iter()
+        .map(|&size| {
+            let row = bench_gemm(size, gemm_repeats);
+            println!(
+                "  {size:>4}³ transposed: seed {} -> blocked {} ({:.2}x); matmul: seed {} -> blocked {} ({:.2}x)",
+                fmt_secs(row.ref_t_seconds),
+                fmt_secs(row.blocked_t_seconds),
+                row.t_speedup,
+                fmt_secs(row.ref_mm_seconds),
+                fmt_secs(row.blocked_mm_seconds),
+                row.mm_speedup,
+            );
+            row
+        })
+        .collect();
+
+    let sweep_size = if args.smoke { 64 } else { 512 };
+    println!("GEMM thread sweep at {sweep_size}³ (blocked transposed kernel):");
+    let threads_sweep: Vec<(usize, f64)> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let seconds = bench_gemm_threads(sweep_size, threads, gemm_repeats);
+            println!("  {threads} thread(s): {}", fmt_secs(seconds));
+            (threads, seconds)
+        })
+        .collect();
+    let threads4_speedup = Some(threads_sweep[0].1 / threads_sweep[2].1);
+
+    let (dim, lookups, embed_batches): (usize, usize, Vec<usize>) = if args.smoke {
+        (16, 8, vec![1, 16])
+    } else {
+        (64, 40, vec![1, 64, 1024])
+    };
+    let embed_repeats = if args.smoke || args.quick { 2 } else { 5 };
+    println!("Pooled embedding lookups (dim {dim}, {lookups} lookups/sample):");
+    let embedding = bench_embedding(&embed_batches, dim, lookups, embed_repeats);
+    for r in &embedding {
+        println!(
+            "  batch {:>5}: 1 thread {}, 4 threads {}",
+            r.batch,
+            fmt_secs(r.seconds_1t),
+            fmt_secs(r.seconds_4t)
+        );
+    }
+
+    let model_batches: Vec<usize> = if args.smoke {
+        vec![1, 16]
+    } else {
+        vec![1, 64, 1024]
+    };
+    let model_repeats = if args.smoke || args.quick { 1 } else { 3 };
+    println!("End-to-end forward passes ({scale:?} scale):");
+    let models = bench_models(
+        &[ModelId::Rm2, ModelId::Dien],
+        scale,
+        &model_batches,
+        model_repeats,
+    );
+
+    let gate_speedup = gemm.iter().find(|r| r.size == 512).map(|r| r.t_speedup);
+    write_json(
+        "BENCH_kernels.json",
+        host_parallelism,
+        args.smoke,
+        scale,
+        &gemm,
+        &threads_sweep,
+        &embedding,
+        &models,
+        gate_speedup,
+        threads4_speedup,
+    );
+    println!("Wrote BENCH_kernels.json");
+
+    if !args.smoke {
+        let speedup = gate_speedup.expect("512-size row present in full mode");
+        assert!(
+            speedup >= GEMM_SPEEDUP_GATE,
+            "blocked transposed GEMM speedup {speedup:.2}x at 512³ below the {GEMM_SPEEDUP_GATE}x gate"
+        );
+        println!(
+            "Gate: blocked transposed GEMM {speedup:.2}x >= {GEMM_SPEEDUP_GATE}x at 512³ — ok"
+        );
+        if let Some(t4) = threads4_speedup {
+            if host_parallelism >= 4 {
+                assert!(
+                    t4 > 1.2,
+                    "4-thread pool adds no speedup ({t4:.2}x) on a {host_parallelism}-way host"
+                );
+                println!("Gate: 4-thread speedup {t4:.2}x — ok");
+            } else {
+                println!(
+                    "Note: host has {host_parallelism} core(s); 4-thread speedup {t4:.2}x reported, gate not enforced"
+                );
+            }
+        }
+    }
+    println!("All checks passed.");
+}

@@ -289,6 +289,12 @@ fn main() {
             m.shed,
             util.join(", ")
         );
+        println!(
+            "  intra-op pool: {} thread(s), {} tasks, {:.0}% utilization",
+            m.pool_threads,
+            m.pool_tasks,
+            m.pool_utilization * 100.0
+        );
         (rows, ratio, sustained_qps)
     };
 

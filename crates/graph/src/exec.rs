@@ -63,10 +63,13 @@ pub fn execute(graph: &Graph, ctx: &mut ExecContext, inputs: Vec<Value>) -> Resu
                 })?
         };
         values[node.output.0] = Some(out);
-        // Drop values whose last consumer was this node.
+        // Recycle values whose last consumer was this node: their storage
+        // returns to the context arena for later activations.
         for v in &node.inputs {
             if last_use[v.0] == i {
-                values[v.0] = None;
+                if let Some(dead) = values[v.0].take() {
+                    ctx.recycle_value(dead);
+                }
             }
         }
     }

@@ -5,7 +5,99 @@ use drec_trace::{
     RunTrace, SampledMemTrace, WorkVector,
 };
 
-use crate::{kind_cost, OpKind, Value};
+use crate::{kind_cost, OpKind, Value, ValuePayload};
+
+/// Counters describing the context's reusable buffer arena.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// `take_buffer` calls satisfied from the free list.
+    pub hits: u64,
+    /// `take_buffer` calls that had to allocate fresh storage.
+    pub misses: u64,
+    /// Buffers returned to the free list over the context's lifetime.
+    pub recycled: u64,
+    /// Buffers currently parked on the free list.
+    pub free_buffers: usize,
+    /// Total capacity (in `f32` elements) parked on the free list.
+    pub free_elems: usize,
+}
+
+/// Free list of activation buffers, reused across operator invocations so
+/// steady-state inference does not allocate per output.
+///
+/// Buffers are handed out zeroed (`clear` + `resize`), matched best-fit by
+/// capacity, and the list is capped so a single outsized batch cannot pin
+/// memory forever.
+#[derive(Debug, Default)]
+struct BufferArena {
+    free: Vec<Vec<f32>>,
+    hits: u64,
+    misses: u64,
+    recycled: u64,
+}
+
+/// Upper bound on parked buffers; beyond this, recycles displace the
+/// smallest parked buffer or are dropped.
+const ARENA_MAX_FREE: usize = 32;
+
+impl BufferArena {
+    fn take(&mut self, len: usize) -> Vec<f32> {
+        // Best fit: the smallest parked buffer whose capacity covers len.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                self.hits += 1;
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.recycled += 1;
+        if self.free.len() < ARENA_MAX_FREE {
+            self.free.push(buf);
+            return;
+        }
+        // Full: keep the largest ARENA_MAX_FREE buffers.
+        if let Some((i, cap)) = self
+            .free
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.capacity()))
+            .min_by_key(|&(_, c)| c)
+        {
+            if buf.capacity() > cap {
+                self.free[i] = buf;
+            }
+        }
+    }
+
+    fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            hits: self.hits,
+            misses: self.misses,
+            recycled: self.recycled,
+            free_buffers: self.free.len(),
+            free_elems: self.free.iter().map(Vec::capacity).sum(),
+        }
+    }
+}
 
 /// Tracing configuration for an execution context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +130,7 @@ pub struct ExecContext {
     kernel_regions: HashMap<OpKind, CodeRegion>,
     trace: Option<TraceState>,
     opts: TraceOptions,
+    arena: BufferArena,
 }
 
 #[derive(Debug)]
@@ -73,6 +166,7 @@ impl ExecContext {
             kernel_regions: HashMap::new(),
             trace: None,
             opts: TraceOptions::default(),
+            arena: BufferArena::default(),
         }
     }
 
@@ -144,6 +238,38 @@ impl ExecContext {
     pub fn external_input(&mut self, mut value: Value) -> Value {
         value.addr = self.space.alloc_data(value.byte_size());
         value
+    }
+
+    // ---- buffer arena ----
+
+    /// Hands out a zeroed buffer of `len` elements, reusing recycled
+    /// storage when a parked buffer is large enough.
+    ///
+    /// Pair with [`ExecContext::recycle_buffer`] (or construct the output
+    /// with [`drec_tensor::Tensor::from_pooled`] and recycle it later via
+    /// [`ExecContext::recycle_value`]) so steady-state inference reuses
+    /// activations instead of allocating.
+    pub fn take_buffer(&mut self, len: usize) -> Vec<f32> {
+        self.arena.take(len)
+    }
+
+    /// Returns a scratch or activation buffer to the arena free list.
+    pub fn recycle_buffer(&mut self, buf: Vec<f32>) {
+        self.arena.recycle(buf);
+    }
+
+    /// Recycles the storage of a dead dense value (graph intermediates
+    /// past their last use). Id-list values carry no `f32` storage and are
+    /// simply dropped.
+    pub fn recycle_value(&mut self, value: Value) {
+        if let ValuePayload::Dense(t) = value.payload {
+            self.arena.recycle(t.into_vec());
+        }
+    }
+
+    /// Current arena counters (hit/miss/recycle totals and parked bytes).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     // ---- trace recording (no-ops when tracing is off) ----
@@ -303,6 +429,43 @@ mod tests {
         let mem = &run.ops[0].mem;
         assert!(mem.events().len() <= 16);
         assert_eq!(mem.total_events(), 1_000);
+    }
+
+    #[test]
+    fn arena_reuses_recycled_buffers() {
+        let mut ctx = ExecContext::new();
+        let buf = ctx.take_buffer(128);
+        assert_eq!(buf.len(), 128);
+        assert_eq!(ctx.arena_stats().misses, 1);
+        ctx.recycle_buffer(buf);
+        assert_eq!(ctx.arena_stats().free_buffers, 1);
+        // A smaller request reuses the parked buffer, zeroed.
+        let mut b2 = ctx.take_buffer(64);
+        assert_eq!(b2.len(), 64);
+        assert!(b2.iter().all(|&v| v == 0.0));
+        assert_eq!(ctx.arena_stats().hits, 1);
+        b2[0] = 3.0;
+        ctx.recycle_buffer(b2);
+        // Recycling a dense value parks its storage too.
+        use drec_tensor::Tensor;
+        ctx.recycle_value(Value::dense(Tensor::zeros(&[4, 4])));
+        assert_eq!(ctx.arena_stats().free_buffers, 2);
+        assert_eq!(ctx.arena_stats().recycled, 3);
+    }
+
+    #[test]
+    fn arena_free_list_is_bounded() {
+        let mut ctx = ExecContext::new();
+        for _ in 0..100 {
+            let buf = ctx.take_buffer(16);
+            ctx.recycle_buffer(buf);
+        }
+        // One buffer ping-pongs; park many distinct ones.
+        let bufs: Vec<_> = (0..100).map(|_| vec![0.0f32; 8]).collect();
+        for b in bufs {
+            ctx.recycle_buffer(b);
+        }
+        assert!(ctx.arena_stats().free_buffers <= 32);
     }
 
     #[test]

@@ -13,6 +13,44 @@ use crate::{kind_cost, ExecContext, OpError, OpKind, Operator, Result, Value};
 /// heavily — the bad-speculation slots on RM1/RM2 in Fig 8/15.
 const GATHER_BRANCH_TAKEN_RATE: f64 = 0.7;
 
+/// Minimum `f32` elements a parallel chunk of batch samples should carry;
+/// below this the spawn overhead outweighs the gather work.
+const MIN_CHUNK_ELEMS: usize = 1 << 10;
+
+/// Chunk size (in output elements) for parallelizing a gather over batch
+/// samples of `dim` elements each: sample-aligned, sized for roughly four
+/// chunks per pool thread, floored at [`MIN_CHUNK_ELEMS`]. Depends only on
+/// the workload shape and thread count via chunk *count*, while per-sample
+/// math stays sequential — so results are bit-identical to the serial loop.
+pub(crate) fn sample_chunk_elems(batch: usize, dim: usize, threads: usize) -> usize {
+    let samples = batch
+        .div_ceil(threads * 4)
+        .max(MIN_CHUNK_ELEMS / dim.max(1))
+        .max(1);
+    samples * dim
+}
+
+/// Applies a segment's pooling epilogue (mean normalisation) in place.
+fn pool_segment(acc: &mut [f32], mode: PoolMode, len: u32) {
+    if mode == PoolMode::Mean && len > 0 {
+        let inv = 1.0 / len as f32;
+        for a in acc.iter_mut() {
+            *a *= inv;
+        }
+    }
+}
+
+/// Start offset of each sample's segment in the flat id list.
+fn segment_starts(lengths: &[u32]) -> Vec<usize> {
+    let mut starts = Vec::with_capacity(lengths.len());
+    let mut pos = 0usize;
+    for &len in lengths {
+        starts.push(pos);
+        pos += len as usize;
+    }
+    starts
+}
+
 /// An embedding table with a production-sized *virtual* row space backed by
 /// a truncated physical buffer.
 ///
@@ -237,30 +275,51 @@ impl Operator for SparseLengthsSum {
                 out_bytes,
             );
         }
-        let mut out = Tensor::zeros(&[batch, dim]);
+        // Output drawn from the context arena (handed out zeroed).
+        let mut out = Tensor::from_pooled(ctx.take_buffer(batch * dim), &[batch, dim]);
         let mut lookups = 0u64;
-        // Segment bookkeeping done manually so row reads can be recorded
-        // inline without borrowing `ids` across the `ctx` calls.
-        let mut pos = 0usize;
-        for (sample, &len) in ids.lengths.iter().enumerate() {
-            let acc = &mut out.as_mut_slice()[sample * dim..(sample + 1) * dim];
-            for &id in &ids.ids[pos..pos + len as usize] {
-                let row = self.table.row(id);
-                for (a, &v) in acc.iter_mut().zip(row) {
-                    *a += v;
-                }
-                if tracing {
+        if tracing {
+            // Sequential path: row reads are recorded inline, which needs
+            // `&mut ctx` per lookup. Segment bookkeeping is done manually
+            // so reads can be recorded without borrowing `ids` across the
+            // `ctx` calls.
+            let mut pos = 0usize;
+            for (sample, &len) in ids.lengths.iter().enumerate() {
+                let acc = &mut out.as_mut_slice()[sample * dim..(sample + 1) * dim];
+                for &id in &ids.ids[pos..pos + len as usize] {
+                    let row = self.table.row(id);
+                    for (a, &v) in acc.iter_mut().zip(row) {
+                        *a += v;
+                    }
                     ctx.record_read(self.table.row_addr(id), row_bytes);
+                    lookups += 1;
                 }
-                lookups += 1;
+                pool_segment(acc, self.mode, len);
+                pos += len as usize;
             }
-            if self.mode == PoolMode::Mean && len > 0 {
-                let inv = 1.0 / len as f32;
-                for a in acc.iter_mut() {
-                    *a *= inv;
+        } else {
+            // Parallel path: samples are independent, so the bag loop
+            // fans out over the pool in sample-aligned chunks. Per-sample
+            // accumulation order is unchanged — bit-identical to serial.
+            lookups = ids.total_lookups() as u64;
+            let starts = segment_starts(&ids.lengths);
+            let pool = drec_par::current();
+            let chunk = sample_chunk_elems(batch, dim, pool.threads());
+            pool.for_each_chunk_mut(out.as_mut_slice(), chunk, |offset, block| {
+                let first = offset / dim;
+                for (s, acc) in block.chunks_mut(dim).enumerate() {
+                    let sample = first + s;
+                    let len = ids.lengths[sample];
+                    let start = starts[sample];
+                    for &id in &ids.ids[start..start + len as usize] {
+                        let row = self.table.row(id);
+                        for (a, &v) in acc.iter_mut().zip(row) {
+                            *a += v;
+                        }
+                    }
+                    pool_segment(acc, self.mode, len);
                 }
-            }
-            pos += len as usize;
+            });
         }
         let out_addr = ctx.alloc_activation(out_bytes);
         if tracing {
@@ -360,27 +419,42 @@ impl Operator for EmbeddingGather {
             );
         }
 
-        let mut lookups = 0u64;
+        let lookups: u64;
         let out = match self.mode {
             GatherMode::Position(p) => {
-                let mut out = Tensor::zeros(&[batch, dim]);
-                let mut pos = 0usize;
-                for (sample, &len) in ids.lengths.iter().enumerate() {
-                    let seg = &ids.ids[pos..pos + len as usize];
-                    let id = *seg.get(p).ok_or_else(|| OpError::InvalidInput {
+                // Validate every segment up front so the copy loop (serial
+                // or parallel) is infallible.
+                if let Some((_, &len)) = ids
+                    .lengths
+                    .iter()
+                    .enumerate()
+                    .find(|&(_, &len)| (len as usize) <= p)
+                {
+                    return Err(OpError::InvalidInput {
                         op: "Gather",
-                        message: format!(
-                            "position {p} out of range for segment of length {}",
-                            seg.len()
-                        ),
-                    })?;
-                    out.as_mut_slice()[sample * dim..(sample + 1) * dim]
-                        .copy_from_slice(self.table.row(id));
-                    if tracing {
+                        message: format!("position {p} out of range for segment of length {len}"),
+                    });
+                }
+                let starts = segment_starts(&ids.lengths);
+                let mut out = Tensor::from_pooled(ctx.take_buffer(batch * dim), &[batch, dim]);
+                lookups = batch as u64;
+                if tracing {
+                    for (sample, &start) in starts.iter().enumerate().take(batch) {
+                        let id = ids.ids[start + p];
+                        out.as_mut_slice()[sample * dim..(sample + 1) * dim]
+                            .copy_from_slice(self.table.row(id));
                         ctx.record_read(self.table.row_addr(id), row_bytes);
                     }
-                    lookups += 1;
-                    pos += len as usize;
+                } else {
+                    let pool = drec_par::current();
+                    let chunk = sample_chunk_elems(batch, dim, pool.threads());
+                    pool.for_each_chunk_mut(out.as_mut_slice(), chunk, |offset, block| {
+                        let first = offset / dim;
+                        for (s, dst) in block.chunks_mut(dim).enumerate() {
+                            let id = ids.ids[starts[first + s] + p];
+                            dst.copy_from_slice(self.table.row(id));
+                        }
+                    });
                 }
                 out
             }
@@ -393,19 +467,35 @@ impl Operator for EmbeddingGather {
                             .to_string(),
                     });
                 }
-                let mut out = Tensor::zeros(&[batch, seq_len * dim]);
-                let mut pos = 0usize;
-                for sample in 0..batch {
-                    for t in 0..seq_len {
-                        let id = ids.ids[pos + t];
-                        let off = sample * seq_len * dim + t * dim;
-                        out.as_mut_slice()[off..off + dim].copy_from_slice(self.table.row(id));
-                        if tracing {
+                let sample_elems = seq_len * dim;
+                let mut out = Tensor::from_pooled(
+                    ctx.take_buffer(batch * sample_elems),
+                    &[batch, sample_elems],
+                );
+                lookups = (batch * seq_len) as u64;
+                if tracing {
+                    let mut pos = 0usize;
+                    for sample in 0..batch {
+                        for t in 0..seq_len {
+                            let id = ids.ids[pos + t];
+                            let off = sample * sample_elems + t * dim;
+                            out.as_mut_slice()[off..off + dim].copy_from_slice(self.table.row(id));
                             ctx.record_read(self.table.row_addr(id), row_bytes);
                         }
-                        lookups += 1;
+                        pos += seq_len;
                     }
-                    pos += seq_len;
+                } else if sample_elems > 0 {
+                    let pool = drec_par::current();
+                    let chunk = sample_chunk_elems(batch, sample_elems, pool.threads());
+                    pool.for_each_chunk_mut(out.as_mut_slice(), chunk, |offset, block| {
+                        let first = offset / sample_elems;
+                        for (s, dst) in block.chunks_mut(sample_elems).enumerate() {
+                            let pos = (first + s) * seq_len;
+                            for (t, cell) in dst.chunks_mut(dim).enumerate() {
+                                cell.copy_from_slice(self.table.row(ids.ids[pos + t]));
+                            }
+                        }
+                    });
                 }
                 out
             }

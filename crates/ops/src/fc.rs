@@ -80,14 +80,16 @@ impl Operator for FullyConnected {
         }
         let out_f = self.out_features();
 
-        // Functional compute.
-        let mut y = x.matmul_transposed(&self.weights)?;
-        for r in 0..batch {
-            let row = &mut y.as_mut_slice()[r * out_f..(r + 1) * out_f];
+        // Functional compute, into an arena buffer so repeated FC layers
+        // reuse activation storage instead of allocating.
+        let mut buf = ctx.take_buffer(batch * out_f);
+        x.matmul_transposed_into(&self.weights, &mut buf)?;
+        for row in buf.chunks_mut(out_f.max(1)) {
             for (v, b) in row.iter_mut().zip(self.bias.as_slice()) {
                 *v += b;
             }
         }
+        let y = Tensor::from_pooled(buf, &[batch, out_f]);
         let out_addr = ctx.alloc_activation((batch * out_f * 4) as u64);
 
         // Trace emission.

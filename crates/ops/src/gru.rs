@@ -1,6 +1,7 @@
-use drec_tensor::{ParamInit, Tensor};
+use drec_tensor::{gemm_transposed, ParamInit, Tensor};
 use drec_trace::{BranchProfile, CodeFootprint, CodeRegion, WorkVector};
 
+use crate::embedding::sample_chunk_elems;
 use crate::op::check_arity;
 use crate::{kind_cost, ExecContext, OpError, OpKind, Operator, Result, Value};
 
@@ -63,11 +64,6 @@ impl Gru {
     pub fn hidden(&self) -> usize {
         self.hidden
     }
-
-    fn gate_rows(&self, x: &Tensor, h: &Tensor) -> Result<(Tensor, Tensor)> {
-        // Returns (x·Wᵀ, h·Uᵀ), each [batch, 3·hidden].
-        Ok((x.matmul_transposed(&self.w)?, h.matmul_transposed(&self.u)?))
-    }
 }
 
 fn sigmoid(x: f32) -> f32 {
@@ -97,52 +93,79 @@ impl Operator for Gru {
             });
         }
         let seq_len = cols / self.input_dim;
-        let h3 = 3 * self.hidden;
+        let hidden = self.hidden;
+        let in_dim = self.input_dim;
+        let h3 = 3 * hidden;
 
-        let mut h = Tensor::zeros(&[batch, self.hidden]);
+        // All per-timestep scratch comes from the context arena and is
+        // reused across timesteps (and recycled for later ops), so the
+        // recurrence allocates nothing in steady state.
+        let mut xt = ctx.take_buffer(batch * in_dim);
+        let mut gx = ctx.take_buffer(batch * h3);
+        let mut gh = ctx.take_buffer(batch * h3);
+        let mut h = ctx.take_buffer(batch * hidden);
+        let mut new_h = ctx.take_buffer(batch * hidden);
         let mut seq_out = if self.return_sequence {
-            Some(Tensor::zeros(&[batch, seq_len * self.hidden]))
+            Some(ctx.take_buffer(batch * seq_len * hidden))
         } else {
             None
         };
 
+        let xs = x.as_slice();
+        let bias = self.bias.as_slice();
+        let pool = drec_par::current();
+        let gate_chunk = sample_chunk_elems(batch, hidden, pool.threads());
         for t in 0..seq_len {
             // Slice x_t out of the flattened sequence.
-            let mut xt = Tensor::zeros(&[batch, self.input_dim]);
             for b in 0..batch {
-                let src = &x.as_slice()
-                    [b * cols + t * self.input_dim..b * cols + (t + 1) * self.input_dim];
-                xt.as_mut_slice()[b * self.input_dim..(b + 1) * self.input_dim]
-                    .copy_from_slice(src);
+                xt[b * in_dim..(b + 1) * in_dim]
+                    .copy_from_slice(&xs[b * cols + t * in_dim..b * cols + (t + 1) * in_dim]);
             }
-            let (gx, gh) = self.gate_rows(&xt, &h)?;
-            let mut new_h = Tensor::zeros(&[batch, self.hidden]);
-            for b in 0..batch {
-                for j in 0..self.hidden {
-                    let bz = self.bias.as_slice()[j];
-                    let br = self.bias.as_slice()[self.hidden + j];
-                    let bh = self.bias.as_slice()[2 * self.hidden + j];
-                    let gxr = &gx.as_slice()[b * h3..(b + 1) * h3];
-                    let ghr = &gh.as_slice()[b * h3..(b + 1) * h3];
-                    let z = sigmoid(gxr[j] + ghr[j] + bz);
-                    let r = sigmoid(gxr[self.hidden + j] + ghr[self.hidden + j] + br);
-                    let cand =
-                        (gxr[2 * self.hidden + j] + r * ghr[2 * self.hidden + j] + bh).tanh();
-                    let prev = h.as_slice()[b * self.hidden + j];
-                    new_h.as_mut_slice()[b * self.hidden + j] = (1.0 - z) * prev + z * cand;
+            // Gate pre-activations: x_t·Wᵀ and h·Uᵀ, each [batch, 3·hidden].
+            gemm_transposed(&xt, self.w.as_slice(), batch, in_dim, h3, &mut gx);
+            gemm_transposed(&h, self.u.as_slice(), batch, hidden, h3, &mut gh);
+            // Gate math is independent per sample: fan it out over the
+            // pool in sample-aligned chunks (per-sample order unchanged,
+            // so outputs stay bit-identical to the serial loop).
+            let (gx_r, gh_r, h_r) = (&gx[..], &gh[..], &h[..]);
+            pool.for_each_chunk_mut(&mut new_h, gate_chunk, |offset, block| {
+                let first = offset / hidden;
+                for (s, row) in block.chunks_mut(hidden).enumerate() {
+                    let b = first + s;
+                    let gxr = &gx_r[b * h3..(b + 1) * h3];
+                    let ghr = &gh_r[b * h3..(b + 1) * h3];
+                    let prev = &h_r[b * hidden..(b + 1) * hidden];
+                    for j in 0..hidden {
+                        let z = sigmoid(gxr[j] + ghr[j] + bias[j]);
+                        let r = sigmoid(gxr[hidden + j] + ghr[hidden + j] + bias[hidden + j]);
+                        let cand =
+                            (gxr[2 * hidden + j] + r * ghr[2 * hidden + j] + bias[2 * hidden + j])
+                                .tanh();
+                        row[j] = (1.0 - z) * prev[j] + z * cand;
+                    }
                 }
-            }
-            h = new_h;
+            });
+            std::mem::swap(&mut h, &mut new_h);
             if let Some(seq) = &mut seq_out {
                 for b in 0..batch {
-                    let dst_off = b * seq_len * self.hidden + t * self.hidden;
-                    seq.as_mut_slice()[dst_off..dst_off + self.hidden]
-                        .copy_from_slice(&h.as_slice()[b * self.hidden..(b + 1) * self.hidden]);
+                    let dst_off = b * seq_len * hidden + t * hidden;
+                    seq[dst_off..dst_off + hidden]
+                        .copy_from_slice(&h[b * hidden..(b + 1) * hidden]);
                 }
             }
         }
 
-        let out = seq_out.unwrap_or(h);
+        ctx.recycle_buffer(xt);
+        ctx.recycle_buffer(gx);
+        ctx.recycle_buffer(gh);
+        ctx.recycle_buffer(new_h);
+        let out = match seq_out {
+            Some(seq) => {
+                ctx.recycle_buffer(h);
+                Tensor::from_pooled(seq, &[batch, seq_len * hidden])
+            }
+            None => Tensor::from_pooled(h, &[batch, hidden]),
+        };
         let out_bytes = (out.numel() * 4) as u64;
         let out_addr = ctx.alloc_activation(out_bytes);
 

@@ -57,7 +57,7 @@ mod shape_ops;
 mod softmax;
 mod value;
 
-pub use context::{ExecContext, TraceOptions};
+pub use context::{ArenaStats, ExecContext, TraceOptions};
 pub use costs::{kind_cost, KindCost, FRAMEWORK_OVERHEAD_INSTRS};
 pub use elementwise::{Activation, ActivationKind, Mul, Sum};
 pub use embedding::{EmbeddingGather, EmbeddingTable, GatherMode, PoolMode, SparseLengthsSum};

@@ -1,0 +1,127 @@
+//! Concurrency invariants of the `drec-par` pool: exactly-once chunk
+//! coverage under contention, panic propagation without deadlock, and
+//! determinism of chunk boundaries across pool sizes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use drec_par::ParPool;
+
+#[test]
+fn for_each_chunk_touches_every_index_exactly_once_under_8_threads() {
+    let pool = ParPool::new(8);
+    const LEN: usize = 100_000;
+    let touched: Vec<AtomicU32> = (0..LEN).map(|_| AtomicU32::new(0)).collect();
+    pool.for_each_chunk(LEN, 37, |range| {
+        for i in range {
+            touched[i].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    for (i, t) in touched.iter().enumerate() {
+        assert_eq!(t.load(Ordering::Relaxed), 1, "index {i} touched != once");
+    }
+}
+
+#[test]
+fn panicking_chunk_propagates_and_pool_survives() {
+    let pool = ParPool::new(8);
+    let before_panic = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.for_each_chunk(64, 4, |range| {
+            if range.start == 12 {
+                panic!("chunk boom");
+            }
+            before_panic.fetch_add(range.len(), Ordering::Relaxed);
+        });
+    }));
+    let payload = result.expect_err("panic must propagate to the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("<non-str payload>");
+    assert_eq!(msg, "chunk boom");
+
+    // The pool is not deadlocked or poisoned: the same pool completes
+    // fresh work, and every index is still covered exactly once.
+    let counter = AtomicUsize::new(0);
+    pool.for_each_chunk(1000, 9, |range| {
+        counter.fetch_add(range.len(), Ordering::Relaxed);
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 1000);
+}
+
+#[test]
+fn panicking_scope_task_does_not_leak_into_later_scopes() {
+    let pool = ParPool::new(4);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            s.spawn(|| panic!("task boom"));
+            s.spawn(|| {});
+        });
+    }));
+    assert!(result.is_err());
+    // A later scope on the same pool runs clean.
+    let ok = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 8);
+}
+
+#[test]
+fn chunk_mut_is_disjoint_and_complete_under_contention() {
+    let pool = ParPool::new(8);
+    let mut data = vec![0u32; 50_000];
+    pool.for_each_chunk_mut(&mut data, 113, |offset, sub| {
+        for (i, v) in sub.iter_mut().enumerate() {
+            *v += (offset + i) as u32;
+        }
+    });
+    for (i, v) in data.iter().enumerate() {
+        assert_eq!(*v, i as u32);
+    }
+}
+
+#[test]
+fn chunk_boundaries_are_identical_across_pool_sizes() {
+    // The determinism contract: boundaries depend only on (len, chunk).
+    let collect = |threads: usize| {
+        let pool = ParPool::new(threads);
+        let ranges = std::sync::Mutex::new(Vec::new());
+        pool.for_each_chunk(1234, 100, |range| {
+            ranges.lock().unwrap().push((range.start, range.end));
+        });
+        let mut r = ranges.into_inner().unwrap();
+        r.sort_unstable();
+        r
+    };
+    let one = collect(1);
+    assert_eq!(one, collect(2));
+    assert_eq!(one, collect(8));
+    assert_eq!(one.len(), 13);
+    assert_eq!(one.last(), Some(&(1200, 1234)));
+}
+
+#[test]
+fn concurrent_scopes_from_many_threads_share_one_pool() {
+    // Serving workers share the process pool; scopes opened concurrently
+    // must all complete (helpers may execute each other's tasks).
+    let pool = ParPool::new(4);
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..6 {
+            let pool = &pool;
+            let total = &total;
+            s.spawn(move || {
+                pool.for_each_chunk(10_000, 61, |range| {
+                    total.fetch_add(range.len(), Ordering::Relaxed);
+                });
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 60_000);
+}

@@ -2,11 +2,13 @@
 //! platform latency curve, executes coalesced batches, and reports both
 //! real and modelled timings.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use drec_core::serving::LatencyCurve;
 use drec_models::{InputSpec, RecModel};
 use drec_ops::Value;
+use drec_par::ParPool;
 
 use crate::error::{Result, ServeError};
 use crate::request::{coalesce_inputs, split_outputs, Request};
@@ -29,12 +31,22 @@ pub struct BatchExecution {
 pub struct Engine {
     model: RecModel,
     curve: LatencyCurve,
+    pool: Arc<ParPool>,
 }
 
 impl Engine {
-    /// Wraps a built model and its platform latency curve.
+    /// Wraps a built model and its platform latency curve. Batches run on
+    /// the [`drec_par::current`] pool at construction time (the process
+    /// pool unless the caller has an override installed).
     pub fn new(model: RecModel, curve: LatencyCurve) -> Self {
-        Engine { model, curve }
+        Self::with_pool(model, curve, drec_par::current())
+    }
+
+    /// Like [`Engine::new`] but pinning batch execution to an explicit
+    /// pool — how the serving runtime shares one intra-op pool across all
+    /// worker engines.
+    pub fn with_pool(model: RecModel, curve: LatencyCurve, pool: Arc<ParPool>) -> Self {
+        Engine { model, curve, pool }
     }
 
     /// The model's input contract.
@@ -45,6 +57,11 @@ impl Engine {
     /// The latency curve used for modelled timings.
     pub fn curve(&self) -> &LatencyCurve {
         &self.curve
+    }
+
+    /// The intra-op pool batches execute on.
+    pub fn pool(&self) -> &Arc<ParPool> {
+        &self.pool
     }
 
     /// Coalesces `requests` into one batch, runs it through the model,
@@ -59,12 +76,11 @@ impl Engine {
         let batch = requests.len();
         let inputs = coalesce_inputs(self.model.spec(), requests);
         let start = Instant::now();
-        let outputs = self
-            .model
-            .run(inputs)
-            .map_err(|e| ServeError::WorkerFailed {
+        let outputs = drec_par::with_pool(&self.pool, || self.model.run(inputs)).map_err(|e| {
+            ServeError::WorkerFailed {
                 reason: e.to_string(),
-            })?;
+            }
+        })?;
         let wall_seconds = start.elapsed().as_secs_f64();
         Ok(BatchExecution {
             per_request_outputs: split_outputs(&outputs, batch),
@@ -93,11 +109,11 @@ impl Engine {
         for _ in 0..repeats.max(1) {
             let inputs = gen.batch(self.model.spec(), batch);
             let start = Instant::now();
-            self.model
-                .run(inputs)
-                .map_err(|e| ServeError::WorkerFailed {
+            drec_par::with_pool(&self.pool, || self.model.run(inputs)).map_err(|e| {
+                ServeError::WorkerFailed {
                     reason: e.to_string(),
-                })?;
+                }
+            })?;
             best = best.min(start.elapsed().as_secs_f64());
         }
         Ok(best)

@@ -8,7 +8,10 @@
 //! monitoring.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use drec_par::{ParPool, PoolStats};
 
 /// Number of histogram buckets: 4 per octave × 26 octaves covers
 /// 1 µs … ~67 s end-to-end latencies.
@@ -137,11 +140,22 @@ pub struct MetricsRegistry {
     pub modelled: LatencyHistogram,
     workers: Vec<WorkerMetrics>,
     started_at: Instant,
+    pool: Arc<ParPool>,
+    pool_baseline: PoolStats,
 }
 
 impl MetricsRegistry {
-    /// A fresh registry for `workers` worker threads.
+    /// A fresh registry for `workers` worker threads, observing the
+    /// [`drec_par::current`] intra-op pool.
     pub fn new(workers: usize) -> Self {
+        Self::with_pool(workers, drec_par::current())
+    }
+
+    /// Like [`MetricsRegistry::new`] but observing an explicit intra-op
+    /// pool (the one the runtime's engines execute on). Pool counters in
+    /// snapshots are deltas from this construction point.
+    pub fn with_pool(workers: usize, pool: Arc<ParPool>) -> Self {
+        let pool_baseline = pool.stats();
         MetricsRegistry {
             accepted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -151,6 +165,8 @@ impl MetricsRegistry {
             modelled: LatencyHistogram::new(),
             workers: (0..workers).map(|_| WorkerMetrics::default()).collect(),
             started_at: Instant::now(),
+            pool,
+            pool_baseline,
         }
     }
 
@@ -191,6 +207,7 @@ impl MetricsRegistry {
             .iter()
             .map(|w| w.samples.load(Ordering::Relaxed))
             .sum();
+        let pool_delta = self.pool.stats().since(&self.pool_baseline);
         MetricsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
@@ -212,6 +229,9 @@ impl MetricsRegistry {
                 .iter()
                 .map(|w| (w.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9 / elapsed).min(1.0))
                 .collect(),
+            pool_threads: pool_delta.threads,
+            pool_tasks: pool_delta.tasks,
+            pool_utilization: pool_delta.utilization(elapsed),
             uptime_seconds: elapsed,
         }
     }
@@ -244,6 +264,12 @@ pub struct MetricsSnapshot {
     pub modelled_p99_seconds: f64,
     /// Busy fraction per worker since the registry was created.
     pub worker_utilization: Vec<f64>,
+    /// Threads in the intra-op parallel pool the engines execute on.
+    pub pool_threads: usize,
+    /// Intra-op pool tasks executed since the registry was created.
+    pub pool_tasks: u64,
+    /// Mean busy fraction per pool thread since the registry was created.
+    pub pool_utilization: f64,
     /// Seconds since the registry was created.
     pub uptime_seconds: f64,
 }

@@ -97,7 +97,10 @@ impl ServeRuntime {
             delay_budget: cfg.delay_budget,
             per_query_service_estimate: per_query,
         }));
-        let metrics = Arc::new(MetricsRegistry::new(cfg.workers));
+        // One intra-op pool shared by every worker engine; snapshots report
+        // its task counts and utilization alongside the worker metrics.
+        let pool = drec_par::current();
+        let metrics = Arc::new(MetricsRegistry::with_pool(cfg.workers, Arc::clone(&pool)));
 
         let mut engines = Vec::with_capacity(cfg.workers);
         for _ in 0..cfg.workers {
@@ -107,7 +110,11 @@ impl ServeRuntime {
                     .map_err(|e| ServeError::WorkerFailed {
                         reason: format!("model build failed: {e}"),
                     })?;
-            engines.push(Engine::new(model, cfg.curve.clone()));
+            engines.push(Engine::with_pool(
+                model,
+                cfg.curve.clone(),
+                Arc::clone(&pool),
+            ));
         }
         let spec = Arc::new(engines[0].spec().clone());
 

@@ -2,12 +2,14 @@
 //!
 //! This crate provides the numerical foundation that the operator library
 //! (`drec-ops`) is built on: a row-major dense [`Tensor`] type, shape
-//! arithmetic, basic linear algebra (tiled matrix multiplication), and
-//! deterministic parameter initialisation.
+//! arithmetic, register-blocked parallel matrix multiplication (see
+//! [`gemm_transposed`]), and deterministic parameter initialisation.
 //!
-//! The tensor type is deliberately small and self-contained — the paper's
-//! characterization depends on *what work the operators perform*, not on a
-//! highly tuned BLAS, so clarity and testability win over peak throughput.
+//! The tensor type is deliberately small and self-contained. The matrix
+//! kernels are register-blocked micro-kernels parallelized over the
+//! `drec-par` pool, with a determinism guarantee: outputs are bit-identical
+//! for every thread count, so traces and characterization results never
+//! depend on `DREC_THREADS`.
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@ mod tensor;
 
 pub use error::TensorError;
 pub use init::ParamInit;
+pub use linalg::gemm_transposed;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,14 +1,200 @@
 //! Linear-algebra kernels on [`Tensor`]: matrix multiply and reductions.
+//!
+//! The matrix kernels are register-blocked and parallel. Both products
+//! funnel into one micro-kernel ([`dot_cell`]) that accumulates four
+//! partial sums along the reduction dimension (`chunks_exact(4)` so LLVM
+//! autovectorizes without reassociation licence) and combines them in a
+//! fixed order; a 4×4 register block ([`micro_4x4`]) amortises loads
+//! across output cells. Row blocks are distributed over the
+//! [`drec_par::current`] pool in chunks that are a multiple of the
+//! register block, so every output element is computed by exactly the
+//! same instruction sequence whatever the thread count — parallel results
+//! are bit-identical to sequential ones, and `DREC_THREADS=1` degrades to
+//! plain in-order execution.
+//!
+//! The previous scalar kernels are kept as [`Tensor::matmul_reference`] /
+//! [`Tensor::matmul_transposed_reference`]: they are the oracle for
+//! property tests and the "old" side of `kernel_bench`'s old-vs-new
+//! timings. (The seed `matmul` additionally skipped `a == 0.0`
+//! contributions, which silently dropped `0 × NaN`/`0 × ∞` terms; the
+//! blocked kernel performs the full IEEE computation.)
 
 use crate::{Result, Tensor, TensorError};
 
-/// Tile edge used by the blocked matmul kernel (elements).
-const TILE: usize = 32;
+/// Rows per register block (output rows computed together).
+const MR: usize = 4;
+/// Columns per register block (output columns computed together).
+const NR: usize = 4;
+/// Partial-sum lanes along the reduction dimension.
+const KU: usize = 4;
+/// Minimum `m·k·n` before a product is worth fanning out to the pool.
+const PAR_MIN_WORK: usize = 1 << 15;
+/// Target parallel chunks per pool thread (slack for load balancing).
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Four-lane dot product with a fixed combine order.
+///
+/// Every output cell of both GEMM kernels — micro-kernel, edge rows, edge
+/// columns, and the sequential fallback — reduces through this exact
+/// sequence, which is what makes results independent of blocking and
+/// thread count.
+#[inline]
+fn dot_cell(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; KU];
+    let a_chunks = a.chunks_exact(KU);
+    let b_chunks = b.chunks_exact(KU);
+    let a_tail = a_chunks.remainder();
+    let b_tail = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        for l in 0..KU {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Computes the 4×4 output block `out[i][j] = aᵢ · bⱼ` for four A rows and
+/// four B rows, sharing each loaded reduction chunk across all 16 cells.
+///
+/// Cell-for-cell identical to [`dot_cell`] (same lane split, same combine
+/// order) — only the load scheduling differs.
+#[inline]
+fn micro_4x4(ar: [&[f32]; MR], br: [&[f32]; NR], k: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[[0.0f32; KU]; NR]; MR];
+    let kc = k - k % KU;
+    let mut p = 0;
+    while p < kc {
+        let a: [&[f32; KU]; MR] = [
+            ar[0][p..p + KU].try_into().expect("chunk"),
+            ar[1][p..p + KU].try_into().expect("chunk"),
+            ar[2][p..p + KU].try_into().expect("chunk"),
+            ar[3][p..p + KU].try_into().expect("chunk"),
+        ];
+        let b: [&[f32; KU]; NR] = [
+            br[0][p..p + KU].try_into().expect("chunk"),
+            br[1][p..p + KU].try_into().expect("chunk"),
+            br[2][p..p + KU].try_into().expect("chunk"),
+            br[3][p..p + KU].try_into().expect("chunk"),
+        ];
+        for i in 0..MR {
+            for j in 0..NR {
+                for l in 0..KU {
+                    acc[i][j][l] += a[i][l] * b[j][l];
+                }
+            }
+        }
+        p += KU;
+    }
+    let mut out = [[0.0f32; NR]; MR];
+    for i in 0..MR {
+        for j in 0..NR {
+            let lanes = acc[i][j];
+            let mut sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+            for q in kc..k {
+                sum += ar[i][q] * br[j][q];
+            }
+            out[i][j] = sum;
+        }
+    }
+    out
+}
+
+/// Computes rows `r0..r0 + out_rows.len()/n` of `A · Bᵀ` into `out_rows`.
+///
+/// `a` is `[m, k]` row-major, `b` is `[n, k]` row-major. `r0` must be a
+/// multiple of [`MR`] unless this is the final (partial) chunk, which the
+/// chunking in [`gemm_transposed`] guarantees.
+fn gemm_t_rows(a: &[f32], b: &[f32], k: usize, n: usize, r0: usize, out_rows: &mut [f32]) {
+    debug_assert_eq!(out_rows.len() % n.max(1), 0);
+    let rows = out_rows.len() / n;
+    let mut i = 0;
+    while i + MR <= rows {
+        let ar: [&[f32]; MR] = [
+            &a[(r0 + i) * k..(r0 + i + 1) * k],
+            &a[(r0 + i + 1) * k..(r0 + i + 2) * k],
+            &a[(r0 + i + 2) * k..(r0 + i + 3) * k],
+            &a[(r0 + i + 3) * k..(r0 + i + 4) * k],
+        ];
+        let mut j = 0;
+        while j + NR <= n {
+            let br: [&[f32]; NR] = [
+                &b[j * k..(j + 1) * k],
+                &b[(j + 1) * k..(j + 2) * k],
+                &b[(j + 2) * k..(j + 3) * k],
+                &b[(j + 3) * k..(j + 4) * k],
+            ];
+            let block = micro_4x4(ar, br, k);
+            for (di, row) in block.iter().enumerate() {
+                out_rows[(i + di) * n + j..(i + di) * n + j + NR].copy_from_slice(row);
+            }
+            j += NR;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            for (di, arow) in ar.iter().enumerate() {
+                out_rows[(i + di) * n + j] = dot_cell(arow, brow);
+            }
+            j += 1;
+        }
+        i += MR;
+    }
+    while i < rows {
+        let arow = &a[(r0 + i) * k..(r0 + i + 1) * k];
+        for j in 0..n {
+            out_rows[i * n + j] = dot_cell(arow, &b[j * k..(j + 1) * k]);
+        }
+        i += 1;
+    }
+}
+
+/// `out = A · Bᵀ` on raw row-major buffers: `a` is `[m, k]`, `b` is
+/// `[n, k]`, `out` is `[m, n]`.
+///
+/// Row blocks are distributed over the current [`drec_par`] pool; results
+/// are bit-identical for every thread count (see the module docs). This
+/// free-function form exists so operators can run repeated products into
+/// arena-recycled buffers without constructing intermediate tensors.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn gemm_transposed(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs buffer size");
+    assert_eq!(b.len(), n * k, "rhs buffer size");
+    assert_eq!(out.len(), m * n, "output buffer size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let pool = drec_par::current();
+    if pool.threads() == 1 || m * k * n < PAR_MIN_WORK {
+        gemm_t_rows(a, b, k, n, 0, out);
+        return;
+    }
+    // Chunk rows in units of the register block so block membership (and
+    // hence the instruction sequence per cell) is chunking-invariant.
+    let quads = m.div_ceil(MR);
+    let quads_per_chunk = quads.div_ceil(pool.threads() * CHUNKS_PER_THREAD).max(1);
+    let rows_per_chunk = quads_per_chunk * MR;
+    pool.for_each_chunk_mut(out, rows_per_chunk * n, |offset, out_rows| {
+        gemm_t_rows(a, b, k, n, offset / n, out_rows);
+    });
+}
 
 impl Tensor {
-    /// Matrix product `self · other` for rank-2 (or rank-1-as-row) tensors.
+    /// Matrix product `self · other` for rank-2 (or rank-1-as-row)
+    /// tensors.
     ///
-    /// Uses a cache-blocked i-k-j loop order.
+    /// Packs `other` into a transposed tile and runs the register-blocked
+    /// kernel of [`Tensor::matmul_transposed`], so both products share
+    /// one micro-kernel and one parallel path.
     ///
     /// # Errors
     ///
@@ -24,34 +210,29 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let a = self.as_slice();
         let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i0 in (0..m).step_by(TILE) {
-            let i1 = (i0 + TILE).min(m);
-            for k0 in (0..k).step_by(TILE) {
-                let k1 = (k0 + TILE).min(k);
-                for i in i0..i1 {
-                    let arow = &a[i * k..(i + 1) * k];
-                    let orow = &mut out[i * n..(i + 1) * n];
+        // Pack Bᵀ (cache-blocked transpose) so the reduction dimension is
+        // contiguous for both operands.
+        const T: usize = 32;
+        let mut bt = vec![0.0f32; k * n];
+        for j0 in (0..n).step_by(T) {
+            let j1 = (j0 + T).min(n);
+            for k0 in (0..k).step_by(T) {
+                let k1 = (k0 + T).min(k);
+                for j in j0..j1 {
                     for kk in k0..k1 {
-                        let av = arow[kk];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[kk * n..(kk + 1) * n];
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += av * bv;
-                        }
+                        bt[j * k + kk] = b[kk * n + j];
                     }
                 }
             }
         }
+        let mut out = vec![0.0f32; m * n];
+        gemm_transposed(self.as_slice(), &bt, m, k, n, &mut out);
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// `self · otherᵀ` — the natural layout for fully-connected layers whose
-    /// weights are stored `[out_features, in_features]`.
+    /// `self · otherᵀ` — the natural layout for fully-connected layers
+    /// whose weights are stored `[out_features, in_features]`.
     ///
     /// # Errors
     ///
@@ -59,14 +240,92 @@ impl Tensor {
     /// disagree.
     pub fn matmul_transposed(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k) = self.shape().as_matrix()?;
+        let n = self.check_transposed_shapes("matmul_transposed", other)?;
+        let mut out = vec![0.0f32; m * n];
+        gemm_transposed(self.as_slice(), other.as_slice(), m, k, n, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self · otherᵀ` written into a caller-supplied buffer of `m·n`
+    /// elements — the arena-friendly form used by FC and GRU, which draw
+    /// `out` from the [`ExecContext`] buffer pool instead of allocating.
+    ///
+    /// [`ExecContext`]: ../drec_ops/struct.ExecContext.html
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the feature dimensions
+    /// disagree or `out` has the wrong length.
+    pub fn matmul_transposed_into(&self, other: &Tensor, out: &mut [f32]) -> Result<()> {
+        let (m, k) = self.shape().as_matrix()?;
+        let n = self.check_transposed_shapes("matmul_transposed_into", other)?;
+        if out.len() != m * n {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: m * n,
+                actual: out.len(),
+            });
+        }
+        gemm_transposed(self.as_slice(), other.as_slice(), m, k, n, out);
+        Ok(())
+    }
+
+    /// Validates `self · otherᵀ` shapes and returns the output column
+    /// count `n`.
+    fn check_transposed_shapes(&self, op: &'static str, other: &Tensor) -> Result<usize> {
+        let (_, k) = self.shape().as_matrix()?;
         let (n, k2) = other.shape().as_matrix()?;
         if k != k2 {
             return Err(TensorError::ShapeMismatch {
-                op: "matmul_transposed",
+                op,
                 lhs: self.dims().to_vec(),
                 rhs: other.dims().to_vec(),
             });
         }
+        Ok(n)
+    }
+
+    /// The seed scalar `matmul` kernel (i-k-j loop, one running sum per
+    /// cell, no zero-skipping): the reference oracle for property tests
+    /// and the baseline side of `kernel_bench`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matmul`].
+    pub fn matmul_reference(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.shape().as_matrix()?;
+        let (k2, n) = other.shape().as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_reference",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// The seed scalar `matmul_transposed` kernel (single-accumulator dot
+    /// per cell): reference oracle and `kernel_bench` baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matmul_transposed`].
+    pub fn matmul_transposed_reference(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.shape().as_matrix()?;
+        let n = self.check_transposed_shapes("matmul_transposed_reference", other)?;
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -162,7 +421,8 @@ mod tests {
 
     #[test]
     fn matmul_blocked_matches_naive_on_odd_sizes() {
-        // Sizes straddling the tile boundary exercise the blocking logic.
+        // Sizes straddling the register-block boundary exercise the edge
+        // row/column paths.
         let m = 33;
         let k = 65;
         let n = 17;
@@ -177,16 +437,42 @@ mod tests {
         )
         .unwrap();
         let c = a.matmul(&b).unwrap();
-        // Naive reference.
-        for i in [0, 15, 32] {
-            for j in [0, 9, 16] {
-                let mut acc = 0.0f32;
-                for kk in 0..k {
-                    acc += a.get(&[i, kk]).unwrap() * b.get(&[kk, j]).unwrap();
-                }
-                assert!((c.get(&[i, j]).unwrap() - acc).abs() < 1e-3);
-            }
+        let reference = a.matmul_reference(&b).unwrap();
+        for (x, y) in c.as_slice().iter().zip(reference.as_slice()) {
+            assert!((x - y).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_lhs() {
+        // The seed kernel skipped `a == 0.0` contributions, silently
+        // turning 0 × NaN into 0. IEEE says the product is NaN.
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.as_slice()[0].is_nan(), "0 × NaN must poison the sum");
+        assert_eq!(c.as_slice()[1], 4.0);
+        // Same through an infinity: 0 × ∞ is NaN, not 0.
+        let binf = Tensor::from_vec(vec![f32::INFINITY, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert!(a.matmul(&binf).unwrap().as_slice()[0].is_nan());
+    }
+
+    #[test]
+    fn matmul_transposed_into_writes_buffer() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let mut out = vec![7.0f32; 4];
+        a.matmul_transposed_into(&w, &mut out).unwrap();
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut wrong = vec![0.0f32; 3];
+        assert!(a.matmul_transposed_into(&w, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn gemm_transposed_handles_degenerate_dims() {
+        let mut out = vec![1.0f32; 3];
+        gemm_transposed(&[], &[], 3, 0, 1, &mut out[..3]);
+        assert_eq!(out, vec![0.0; 3]);
     }
 
     #[test]

@@ -31,6 +31,19 @@ impl Tensor {
         Ok(Tensor { shape, data })
     }
 
+    /// Creates a tensor from a recycled buffer, resizing it to fit.
+    ///
+    /// Unlike [`Tensor::from_vec`] this never fails: the buffer is
+    /// truncated or zero-extended to the element count of `dims`, reusing
+    /// its existing capacity. Operators use this with buffers drawn from
+    /// the execution context's arena so steady-state inference does not
+    /// allocate per output.
+    pub fn from_pooled(mut data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        data.resize(shape.numel(), 0.0);
+        Tensor { shape, data }
+    }
+
     /// Creates a tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);

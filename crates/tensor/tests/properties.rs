@@ -2,6 +2,7 @@
 //! deterministic `drec-check` case harness.
 
 use drec_check::{cases, CaseRng};
+use drec_par::ParPool;
 use drec_tensor::{ParamInit, Tensor};
 
 fn small_dims(rng: &mut CaseRng) -> (usize, usize, usize) {
@@ -102,6 +103,73 @@ fn map_then_sum_matches_manual() {
         let a = ParamInit::new(seed).uniform(&[len], -1.0, 1.0);
         let doubled = a.map(|v| 2.0 * v);
         assert!((doubled.sum() - 2.0 * a.sum()).abs() < 1e-4);
+    });
+}
+
+/// Shapes chosen to exercise every edge path of the register-blocked
+/// kernel: single cell, k far larger than the 4-lane unroll, and row/col
+/// counts that are not multiples of the 4×4 block.
+const ODD_SHAPES: &[(usize, usize, usize)] = &[(1, 1, 1), (3, 129, 5), (257, 63, 33), (8, 8, 8)];
+
+#[test]
+fn blocked_matmul_matches_reference_on_odd_shapes() {
+    for &(m, k, n) in ODD_SHAPES {
+        let a = tensor(m, k, (m * 31 + k) as u64);
+        let b = tensor(k, n, (k * 31 + n) as u64);
+        let blocked = a.matmul(&b).unwrap();
+        let reference = a.matmul_reference(&b).unwrap();
+        for (x, y) in blocked.as_slice().iter().zip(reference.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "matmul {m}x{k}x{n}: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn blocked_matmul_transposed_matches_reference_on_odd_shapes() {
+    for &(m, k, n) in ODD_SHAPES {
+        let a = tensor(m, k, (m * 17 + k) as u64);
+        let w = tensor(n, k, (n * 17 + k) as u64);
+        let blocked = a.matmul_transposed(&w).unwrap();
+        let reference = a.matmul_transposed_reference(&w).unwrap();
+        for (x, y) in blocked.as_slice().iter().zip(reference.as_slice()) {
+            assert!(
+                (x - y).abs() < 1e-3,
+                "matmul_transposed {m}x{k}x{n}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_is_bit_identical_across_pool_sizes() {
+    cases(16, |rng| {
+        let m = rng.usize_in(1..80);
+        let k = rng.usize_in(1..40);
+        let n = rng.usize_in(1..24);
+        let seed = rng.u64_in(0..1000);
+        let a = tensor(m, k, seed);
+        let b = tensor(k, n, seed + 1);
+        let w = tensor(n, k, seed + 2);
+        let base_mm = drec_par::with_pool(&ParPool::new(1), || a.matmul(&b).unwrap());
+        let base_t = drec_par::with_pool(&ParPool::new(1), || a.matmul_transposed(&w).unwrap());
+        for threads in [2, 4, 8] {
+            let pool = ParPool::new(threads);
+            let (mm, t) = drec_par::with_pool(&pool, || {
+                (a.matmul(&b).unwrap(), a.matmul_transposed(&w).unwrap())
+            });
+            // Exact equality: parallel execution must be bit-identical to
+            // sequential, not merely close.
+            assert_eq!(
+                base_mm.as_slice(),
+                mm.as_slice(),
+                "matmul {m}x{k}x{n} at {threads} threads"
+            );
+            assert_eq!(
+                base_t.as_slice(),
+                t.as_slice(),
+                "matmul_transposed {m}x{k}x{n} at {threads} threads"
+            );
+        }
     });
 }
 
