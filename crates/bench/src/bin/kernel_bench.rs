@@ -181,7 +181,7 @@ struct EmbedRow {
 fn bench_embedding(batches: &[usize], dim: usize, lookups: usize, repeats: usize) -> Vec<EmbedRow> {
     let mut ctx = ExecContext::new();
     let mut init = ParamInit::new(0xE_5);
-    let table = EmbeddingTable::new(1_000_000, dim, 65_536, &mut ctx, &mut init);
+    let table = EmbeddingTable::new(1_000_000, dim, 65_536, &mut ctx, &mut init).unwrap();
     let sls = SparseLengthsSum::new(Arc::clone(&table), &mut ctx);
     let one = ParPool::new(1);
     let four = ParPool::new(4);

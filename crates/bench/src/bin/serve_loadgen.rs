@@ -17,10 +17,15 @@ use drec_bench::BenchArgs;
 use drec_core::serving::{simulate_queue, LatencyCurve, QueueSimConfig};
 use drec_models::{ModelId, ModelScale};
 use drec_ops::Value;
-use drec_serve::{Engine, MetricsSnapshot, ServeConfig, ServeRuntime};
+use drec_serve::{
+    EmbeddingStore, Engine, MetricsSnapshot, RowEncoding, ServeConfig, ServeRuntime, StoreConfig,
+};
 use drec_workload::QueryGen;
 
 const MAX_BATCH: usize = 64;
+/// Zipf exponent for the categorical traffic — production-trace skew
+/// (and what gives the store's hot-row cache something to cache).
+const ZIPF_S: f64 = 1.0;
 /// Stated agreement bound on p99 at the sub-saturation load level. A
 /// single-core host timeshares the producer, workers, and OS; ~5 ms
 /// scheduler stalls land in the p99 of a sub-millisecond service, so the
@@ -99,6 +104,7 @@ fn fmt_ms(seconds: f64) -> String {
 /// conditions the runtime executes in: `WORKERS` engines running
 /// concurrently (so memory-bandwidth contention is priced in), averaging
 /// samples rather than taking the single best.
+#[allow(clippy::too_many_arguments)]
 fn calibrate(
     model: ModelId,
     scale: ModelScale,
@@ -106,16 +112,26 @@ fn calibrate(
     workers: usize,
     grid: &[usize],
     repeats: usize,
+    store_cfg: Option<StoreConfig>,
 ) -> Vec<(usize, f64)> {
+    // Calibration engines share one store exactly like the runtime's
+    // workers will, so quantized decode cost and cache contention are
+    // priced into the curve.
+    let store = store_cfg.map(|sc| std::sync::Arc::new(EmbeddingStore::new(sc)));
     let barrier = std::sync::Arc::new(std::sync::Barrier::new(workers));
     let per_thread: Vec<Vec<f64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|t| {
                 let barrier = std::sync::Arc::clone(&barrier);
+                let store = store.clone();
                 scope.spawn(move || {
-                    let built = model.build(scale, seed).expect("model builds");
+                    let built = match &store {
+                        Some(s) => model.build_with_store(scale, seed, std::sync::Arc::clone(s)),
+                        None => model.build(scale, seed),
+                    }
+                    .expect("model builds");
                     let mut engine = Engine::new(built, LatencyCurve::from_points(vec![(1, 1.0)]));
-                    let mut gen = QueryGen::uniform(0xCAFE + t as u64);
+                    let mut gen = QueryGen::zipf(0xCAFE + t as u64, ZIPF_S);
                     // Warm-up so lazily-faulted pages and caches settle.
                     let _ = engine.measure_batch_seconds(&mut gen, grid[0], 1);
                     grid.iter()
@@ -163,6 +179,19 @@ fn main() {
              resolution; this is a smoke run, expect disagreement."
         );
     }
+    // All workers share one int8-quantized parameter store, hot-row
+    // cache sized to ~10% of RM1's physical embedding rows (3 tables ×
+    // 1000 rows at Tiny scale, 8 tables × the 4096-row physical cap at
+    // Paper scale).
+    let store_cfg = StoreConfig {
+        encoding: RowEncoding::Int8,
+        cache_capacity_rows: if args.scale == ModelScale::Tiny {
+            300
+        } else {
+            3276
+        },
+        ..StoreConfig::default()
+    };
     println!("Calibrating wall-clock latency curve ({workers} concurrent engines)...");
     let grid: &[usize] = if args.quick {
         &[1, 8, MAX_BATCH]
@@ -170,7 +199,15 @@ fn main() {
         &[1, 2, 4, 8, 16, 32, MAX_BATCH]
     };
     let repeats = if args.quick { 2 } else { 4 };
-    let raw_knots = calibrate(model, args.scale, seed, workers, grid, repeats);
+    let raw_knots = calibrate(
+        model,
+        args.scale,
+        seed,
+        workers,
+        grid,
+        repeats,
+        Some(store_cfg.clone()),
+    );
     let spec = model
         .build(args.scale, seed)
         .expect("model builds")
@@ -191,11 +228,12 @@ fn main() {
         queue_capacity: 100_000,
         delay_budget: Duration::from_secs(3600),
         curve: LatencyCurve::from_points(raw_knots.clone()),
+        store: Some(store_cfg),
     };
     let dispatch_overhead = {
         let runtime = ServeRuntime::start(probe_cfg.clone()).expect("probe runtime starts");
         let handle = runtime.handle();
-        let mut gen = QueryGen::uniform(0xF00D);
+        let mut gen = QueryGen::zipf(0xF00D, ZIPF_S);
         let mut walls: Vec<f64> = (0..50)
             .map(|_| {
                 let pending = handle.submit(gen.batch(&spec, 1)).expect("probe admitted");
@@ -233,7 +271,7 @@ fn main() {
     let run_level = |label: &'static str, target_qps: f64| {
         println!("Driving {requests_per_level} requests at {target_qps:.0} qps ({label})...");
         let samples: Vec<Vec<Value>> = {
-            let mut gen = QueryGen::uniform(0xBEEF ^ target_qps.to_bits());
+            let mut gen = QueryGen::zipf(0xBEEF ^ target_qps.to_bits(), ZIPF_S);
             (0..requests_per_level)
                 .map(|_| gen.batch(&spec, 1))
                 .collect()
@@ -295,6 +333,17 @@ fn main() {
             m.pool_tasks,
             m.pool_utilization * 100.0
         );
+        if let Some(s) = &m.store {
+            println!(
+                "  store: {:.0}% hot-row hit rate, {:.2} MB quantized resident of \
+                 {:.2} MB f32 ({:.1}x compression, {:.2} MB saved)",
+                s.hit_rate() * 100.0,
+                s.resident_bytes as f64 / 1e6,
+                s.f32_bytes as f64 / 1e6,
+                s.compression(),
+                s.bytes_saved() as f64 / 1e6
+            );
+        }
         (rows, ratio, sustained_qps)
     };
 

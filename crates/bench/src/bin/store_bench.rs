@@ -1,0 +1,438 @@
+//! Benchmarks and acceptance gates for the `drec-store` embedding
+//! parameter store: direct-tensor vs store-backed bit-identity across
+//! thread counts, hot-row cache hit rates across encoding × cache
+//! capacity × Zipf skew, and quantization error against the documented
+//! per-encoding bounds. Writes `BENCH_store.json`.
+//!
+//! Flags:
+//!
+//! * `--smoke` — tiny shapes, correctness gates only (CI mode),
+//! * `--quick` — fewer lookups per sweep cell.
+//!
+//! Gates (asserted in both modes unless noted):
+//!
+//! * store-backed f32 RM1 outputs are bit-identical to the plain dense
+//!   build at every pool size and batch, cold and warm cache,
+//! * int8 cuts resident bytes ≥ 3× vs f32 at dim 32,
+//! * every decoded row stays within its encoding's documented error
+//!   bound,
+//! * hot-row cache hit rate ≥ 60% at Zipf s = 1.0 with the cache sized
+//!   to 10% of rows (full mode; smoke asserts a nonzero hit rate).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use drec_models::{ModelId, ModelScale};
+use drec_par::ParPool;
+use drec_store::{EmbeddingStore, RowEncoding, StoreConfig};
+use drec_tensor::ParamInit;
+use drec_workload::{CategoricalDist, QueryGen};
+
+/// Required hot-row cache hit rate at Zipf s = 1.0 with the cache sized
+/// to 10% of rows (full mode only).
+const HIT_RATE_GATE: f64 = 0.60;
+/// Required resident-bytes compression of int8 vs f32 at dim 32.
+const COMPRESSION_GATE: f64 = 3.0;
+
+struct Args {
+    smoke: bool,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        quick: false,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--quick" => args.quick = true,
+            other => eprintln!("warning: unknown argument '{other}' (supported: --smoke --quick)"),
+        }
+    }
+    args
+}
+
+struct IdentityRow {
+    threads: usize,
+    batch: usize,
+    identical: bool,
+}
+
+/// Runs RM1 with plain dense tables and with a store-backed f32 build on
+/// the same Zipf input stream, across pool sizes, twice per
+/// configuration so the second pass hits a warm hot-row cache. Outputs
+/// must match bit for bit every time.
+fn check_bit_identity(scale: ModelScale, batches: &[usize]) -> (Vec<IdentityRow>, f64) {
+    let seed = 11;
+    let mut dense = ModelId::Rm1.build(scale, seed).expect("dense build");
+    let store = Arc::new(EmbeddingStore::new(StoreConfig {
+        encoding: RowEncoding::F32,
+        cache_capacity_rows: 2048,
+        ..StoreConfig::default()
+    }));
+    let mut stored = ModelId::Rm1
+        .build_with_store(scale, seed, Arc::clone(&store))
+        .expect("store-backed build");
+
+    let mut gen = QueryGen::zipf(0xD1CE, 1.0);
+    let baseline_pool = ParPool::new(1);
+    let mut rows = Vec::new();
+    for &batch in batches {
+        let inputs = gen.batch(dense.spec(), batch);
+        let reference =
+            drec_par::with_pool(&baseline_pool, || dense.run(inputs.clone())).expect("dense run");
+        for threads in [1usize, 2, 4] {
+            let pool = ParPool::new(threads);
+            // Two passes: cold cache, then warm — cache state must never
+            // change outputs.
+            for _pass in 0..2 {
+                let got = drec_par::with_pool(&pool, || stored.run(inputs.clone()))
+                    .expect("store-backed run");
+                let identical = reference.len() == got.len()
+                    && reference.iter().zip(&got).all(|(a, b)| {
+                        let a = a.as_dense().expect("dense output").as_slice();
+                        let b = b.as_dense().expect("dense output").as_slice();
+                        a.len() == b.len()
+                            && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                    });
+                assert!(
+                    identical,
+                    "store-backed f32 RM1 differs from dense at {threads} thread(s), batch {batch}"
+                );
+                rows.push(IdentityRow {
+                    threads,
+                    batch,
+                    identical,
+                });
+            }
+        }
+    }
+    (rows, store.stats().hit_rate())
+}
+
+struct SweepRow {
+    encoding: RowEncoding,
+    cache_frac: f64,
+    zipf_s: f64,
+    hit_rate: f64,
+    compression: f64,
+    resident_bytes: u64,
+    f32_bytes: u64,
+    lookups_per_sec: f64,
+}
+
+/// Standalone store driven by Zipf row traffic: one cell per encoding ×
+/// cache-capacity fraction × skew exponent.
+#[allow(clippy::too_many_arguments)]
+fn sweep_cell(
+    rows: usize,
+    dim: usize,
+    data: &[f32],
+    encoding: RowEncoding,
+    cache_frac: f64,
+    zipf_s: f64,
+    warm: usize,
+    measure: usize,
+) -> SweepRow {
+    let store = Arc::new(EmbeddingStore::new(StoreConfig {
+        encoding,
+        cache_capacity_rows: (rows as f64 * cache_frac) as usize,
+        ..StoreConfig::default()
+    }));
+    let handle = store.register(1, 0, rows, dim, data).expect("register");
+    let pinned = store.pin(handle);
+    let dist = CategoricalDist::Zipf { s: zipf_s };
+    let mut rng = ParamInit::new(0xACE);
+    let mut acc = vec![0.0f32; dim];
+    for _ in 0..warm {
+        pinned.sum_row(dist.sample(&mut rng, rows), &mut acc);
+    }
+    let baseline = store.stats();
+    let start = Instant::now();
+    for _ in 0..measure {
+        pinned.sum_row(dist.sample(&mut rng, rows), &mut acc);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(&acc);
+    let delta = store.stats().since(&baseline);
+    let totals = store.stats();
+    SweepRow {
+        encoding,
+        cache_frac,
+        zipf_s,
+        hit_rate: delta.hit_rate(),
+        compression: totals.compression(),
+        resident_bytes: totals.resident_bytes,
+        f32_bytes: totals.f32_bytes,
+        lookups_per_sec: measure as f64 / elapsed,
+    }
+}
+
+struct ErrorRow {
+    encoding: RowEncoding,
+    max_abs_err: f32,
+    max_bound: f32,
+}
+
+/// Decodes every row of a quantized store back to f32 and checks the
+/// worst absolute error against the encoding's documented bound. The
+/// data mixes uniform rows with adversarial ones: a constant row (int8
+/// must be exact) and a wide-range row (stresses the scale).
+fn check_dequant_error(dim: usize) -> Vec<ErrorRow> {
+    let rows = 256;
+    let mut init = ParamInit::new(0xE44);
+    let mut data = init.uniform(&[rows, dim], -0.05, 0.05).as_slice().to_vec();
+    for v in &mut data[..dim] {
+        *v = 0.037; // constant row: int8 quantizes exactly
+    }
+    for v in &mut data[dim..2 * dim] {
+        *v *= 200.0; // wide-range row: large scale, coarse int8 steps
+    }
+    [RowEncoding::F16, RowEncoding::Int8]
+        .into_iter()
+        .map(|encoding| {
+            let store = Arc::new(EmbeddingStore::new(StoreConfig {
+                encoding,
+                cache_capacity_rows: 0,
+                ..StoreConfig::default()
+            }));
+            let handle = store.register(1, 0, rows, dim, &data).expect("register");
+            let pinned = store.pin(handle);
+            let mut decoded = vec![0.0f32; dim];
+            let mut max_abs_err = 0.0f32;
+            let mut max_bound = 0.0f32;
+            for r in 0..rows {
+                let original = &data[r * dim..(r + 1) * dim];
+                pinned.read_row(r as u32, &mut decoded);
+                let err = original
+                    .iter()
+                    .zip(&decoded)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f32, f32::max);
+                let bound = encoding.error_bound(original);
+                assert!(
+                    err <= bound,
+                    "{encoding}: row {r} decode error {err:e} exceeds documented bound {bound:e}"
+                );
+                max_abs_err = max_abs_err.max(err);
+                max_bound = max_bound.max(bound);
+            }
+            ErrorRow {
+                encoding,
+                max_abs_err,
+                max_bound,
+            }
+        })
+        .collect()
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    smoke: bool,
+    scale: ModelScale,
+    sweep_rows_count: usize,
+    identity: &[IdentityRow],
+    identity_hit_rate: f64,
+    sweep: &[SweepRow],
+    errors: &[ErrorRow],
+    gate_hit_rate: Option<f64>,
+    gate_compression: f64,
+) {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"model_scale\": \"{scale:?}\",\n  \"sweep_table_rows\": {sweep_rows_count},\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    s.push_str("  \"f32_bit_identity\": [\n");
+    for (i, r) in identity.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"batch\": {}, \"identical\": {}}}{}\n",
+            r.threads,
+            r.batch,
+            r.identical,
+            if i + 1 < identity.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"identity_run_hit_rate\": {},\n  \"cache_sweep\": [\n",
+        json_f64(identity_hit_rate)
+    ));
+    for (i, r) in sweep.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"encoding\": \"{}\", \"cache_frac\": {}, \"zipf_s\": {}, \"hit_rate\": {}, \"compression\": {}, \"resident_bytes\": {}, \"f32_bytes\": {}, \"lookups_per_sec\": {}}}{}\n",
+            r.encoding.name(),
+            json_f64(r.cache_frac),
+            json_f64(r.zipf_s),
+            json_f64(r.hit_rate),
+            json_f64(r.compression),
+            r.resident_bytes,
+            r.f32_bytes,
+            json_f64(r.lookups_per_sec),
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"dequant_error\": [\n");
+    for (i, r) in errors.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"encoding\": \"{}\", \"max_abs_err\": {}, \"max_bound\": {}}}{}\n",
+            r.encoding.name(),
+            json_f64(f64::from(r.max_abs_err)),
+            json_f64(f64::from(r.max_bound)),
+            if i + 1 < errors.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"checks\": {\n");
+    s.push_str("    \"f32_bit_identical\": true,\n    \"dequant_within_bounds\": true,\n");
+    s.push_str(&format!(
+        "    \"hot_cache_hit_rate_at_10pct_s1\": {},\n    \"hit_rate_gate\": {HIT_RATE_GATE},\n",
+        gate_hit_rate.map_or("null".to_string(), json_f64)
+    ));
+    s.push_str(&format!(
+        "    \"int8_compression\": {},\n    \"compression_gate\": {COMPRESSION_GATE}\n",
+        json_f64(gate_compression)
+    ));
+    s.push_str("  }\n}\n");
+    std::fs::write(path, s).expect("write BENCH_store.json");
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = if args.smoke {
+        ModelScale::Tiny
+    } else {
+        ModelScale::Paper
+    };
+    println!(
+        "store_bench: {} mode, {scale:?} model scale",
+        if args.smoke { "smoke" } else { "full" }
+    );
+
+    let identity_batches: &[usize] = if args.smoke { &[1, 16] } else { &[1, 16, 64] };
+    println!("Dense vs store-backed RM1 (f32), Zipf s=1.0 traffic, pools 1/2/4, cold+warm cache:");
+    let (identity, identity_hit_rate) = check_bit_identity(scale, identity_batches);
+    println!(
+        "  bit-identical in all {} runs (hot-row hit rate over the store-backed runs: {:.0}%)",
+        identity.len(),
+        identity_hit_rate * 100.0
+    );
+
+    let (rows, dim) = if args.smoke {
+        (4_096, 32)
+    } else {
+        (50_000, 32)
+    };
+    let (warm, measure) = match (args.smoke, args.quick) {
+        (true, _) => (5_000, 20_000),
+        (false, true) => (30_000, 50_000),
+        (false, false) => (150_000, 200_000),
+    };
+    let encodings = [RowEncoding::F32, RowEncoding::F16, RowEncoding::Int8];
+    let fracs: &[f64] = if args.smoke {
+        &[0.10]
+    } else {
+        &[0.01, 0.10, 0.25]
+    };
+    let exps: &[f64] = if args.smoke {
+        &[0.6, 1.0]
+    } else {
+        &[0.6, 1.0, 1.4]
+    };
+    let data = ParamInit::new(0x5EED)
+        .uniform(&[rows, dim], -0.05, 0.05)
+        .as_slice()
+        .to_vec();
+    println!("Hot-row cache sweep ({rows} rows x dim {dim}, {measure} measured lookups/cell):");
+    let mut sweep = Vec::new();
+    for &encoding in &encodings {
+        for &frac in fracs {
+            for &s in exps {
+                let row = sweep_cell(rows, dim, &data, encoding, frac, s, warm, measure);
+                println!(
+                    "  {:<4} cache {:>4.0}% zipf {s:.1}: hit rate {:>5.1}%, {:.2}x compression, {:.1}M lookups/s",
+                    encoding.name(),
+                    frac * 100.0,
+                    row.hit_rate * 100.0,
+                    row.compression,
+                    row.lookups_per_sec / 1e6
+                );
+                sweep.push(row);
+            }
+        }
+    }
+
+    println!("Dequantization error vs documented bounds (adversarial rows included):");
+    let errors = check_dequant_error(dim);
+    for r in &errors {
+        println!(
+            "  {:<4}: max |err| {:.3e} <= max bound {:.3e}",
+            r.encoding.name(),
+            r.max_abs_err,
+            r.max_bound
+        );
+    }
+
+    let gate_hit_rate = sweep
+        .iter()
+        .find(|r| {
+            r.encoding == RowEncoding::Int8 && (r.cache_frac - 0.10).abs() < 1e-9 && r.zipf_s == 1.0
+        })
+        .map(|r| r.hit_rate);
+    let gate_compression = sweep
+        .iter()
+        .find(|r| r.encoding == RowEncoding::Int8)
+        .map(|r| r.compression)
+        .expect("int8 sweep rows present");
+
+    write_json(
+        "BENCH_store.json",
+        args.smoke,
+        scale,
+        rows,
+        &identity,
+        identity_hit_rate,
+        &sweep,
+        &errors,
+        gate_hit_rate,
+        gate_compression,
+    );
+    println!("Wrote BENCH_store.json");
+
+    assert!(
+        gate_compression >= COMPRESSION_GATE,
+        "int8 resident-bytes compression {gate_compression:.2}x below the {COMPRESSION_GATE}x gate"
+    );
+    println!("Gate: int8 compression {gate_compression:.2}x >= {COMPRESSION_GATE}x — ok");
+    let hit = gate_hit_rate.expect("10%-cache s=1.0 cell present");
+    if args.smoke {
+        assert!(
+            hit > 0.0,
+            "hot-row cache saw no hits under Zipf traffic (hit rate {hit:.3})"
+        );
+        println!(
+            "Gate: nonzero hot-cache hit rate under Zipf traffic ({:.1}%) — ok",
+            hit * 100.0
+        );
+    } else {
+        assert!(
+            hit >= HIT_RATE_GATE,
+            "hit rate {hit:.3} at 10% cache, Zipf s=1.0 below the {HIT_RATE_GATE} gate"
+        );
+        println!(
+            "Gate: hit rate {:.1}% >= {:.0}% at 10% cache, Zipf s=1.0 — ok",
+            hit * 100.0,
+            HIT_RATE_GATE * 100.0
+        );
+    }
+    println!("All checks passed.");
+}

@@ -24,9 +24,15 @@ use drec_ops::{
     EmbeddingGather, EmbeddingTable, ExecContext, GatherMode, Gru, Mul, OpKind, PairwiseDot,
     SequenceDot, Softmax, Sum, WeightedSum,
 };
+use drec_store::EmbeddingStore;
 use drec_tensor::ParamInit;
 
 use crate::{InputSlot, InputSpec, ModelId, ModelMeta, ModelScale, RecModel};
+
+/// Optional shared parameter store + registration namespace. `None` builds
+/// tables as dense tensors (the original path); `Some` registers them in
+/// the store, deduplicated across identically seeded builds.
+pub(crate) type StoreBinding = Option<(Arc<EmbeddingStore>, u64)>;
 
 /// Physical row cap for embedding tables (DESIGN.md §5): lookups address
 /// the virtual row space for trace realism but share this many physical
@@ -54,17 +60,23 @@ pub(crate) fn meta_template() -> ModelMeta {
     }
 }
 
-/// Entry point used by [`ModelId::build`].
-pub(crate) fn build(id: ModelId, scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+/// Entry point used by [`ModelId::build`] and
+/// [`ModelId::build_with_store`].
+pub(crate) fn build(
+    id: ModelId,
+    scale: ModelScale,
+    seed: u64,
+    store: StoreBinding,
+) -> Result<RecModel, GraphError> {
     match id {
-        ModelId::Ncf => ncf(scale, seed),
-        ModelId::Rm1 => rm1(scale, seed),
-        ModelId::Rm2 => rm2(scale, seed),
-        ModelId::Rm3 => rm3(scale, seed),
-        ModelId::Wnd => wnd(scale, seed),
-        ModelId::MtWnd => mt_wnd(scale, seed),
-        ModelId::Din => din(scale, seed),
-        ModelId::Dien => dien(scale, seed),
+        ModelId::Ncf => ncf(scale, seed, store),
+        ModelId::Rm1 => rm1(scale, seed, store),
+        ModelId::Rm2 => rm2(scale, seed, store),
+        ModelId::Rm3 => rm3(scale, seed, store),
+        ModelId::Wnd => wnd(scale, seed, store),
+        ModelId::MtWnd => mt_wnd(scale, seed, store),
+        ModelId::Din => din(scale, seed, store),
+        ModelId::Dien => dien(scale, seed, store),
     }
 }
 
@@ -80,23 +92,27 @@ pub(crate) struct BuildCtx {
     pub(crate) init: ParamInit,
     spec: InputSpec,
     emb_bytes: u64,
+    store: StoreBinding,
+    next_ordinal: u32,
 }
 
 impl BuildCtx {
-    fn new(seed: u64) -> Self {
+    fn new(seed: u64, store: StoreBinding) -> Self {
         BuildCtx {
             b: GraphBuilder::new(),
             ctx: ExecContext::new(),
             init: ParamInit::new(seed),
             spec: InputSpec::new(),
             emb_bytes: 0,
+            store,
+            next_ordinal: 0,
         }
     }
 
     /// Public constructor for out-of-module builders (`CustomDlrm`). The
     /// scale is the caller's concern — it only picks shapes.
     pub(crate) fn new_public(_scale: ModelScale, seed: u64) -> Self {
-        Self::new(seed)
+        Self::new(seed, None)
     }
 
     /// Declares a dense continuous input of `width` features per sample.
@@ -114,10 +130,36 @@ impl BuildCtx {
 
     /// Creates an embedding table with `rows` virtual rows (physically
     /// capped) and accounts its virtual bytes toward `emb_param_bytes`.
-    pub(crate) fn table(&mut self, rows: usize, dim: usize) -> Arc<EmbeddingTable> {
-        let table = EmbeddingTable::new(rows, dim, PHYSICAL_ROW_CAP, &mut self.ctx, &mut self.init);
+    /// With a store binding, the table registers in the shared store as
+    /// ordinal N (tables are created in a deterministic order, so the
+    /// ordinal identifies the same table across identically seeded
+    /// builds); otherwise it owns a dense tensor.
+    pub(crate) fn table(
+        &mut self,
+        rows: usize,
+        dim: usize,
+    ) -> Result<Arc<EmbeddingTable>, GraphError> {
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        let table = match &self.store {
+            Some((store, namespace)) => EmbeddingTable::new_in_store(
+                rows,
+                dim,
+                PHYSICAL_ROW_CAP,
+                &mut self.ctx,
+                &mut self.init,
+                store,
+                *namespace,
+                ordinal,
+            ),
+            None => EmbeddingTable::new(rows, dim, PHYSICAL_ROW_CAP, &mut self.ctx, &mut self.init),
+        }
+        .map_err(|source| GraphError::Op {
+            node: format!("table{ordinal}"),
+            source,
+        })?;
         self.emb_bytes += table.virtual_bytes();
-        table
+        Ok(table)
     }
 
     /// Bytes of parameters in an MLP of the given widths (weights plus
@@ -166,20 +208,20 @@ impl BuildCtx {
 /// NCF: four embedding tables (user/item × MLP/GMF towers). The MLP tower
 /// concatenates user and item vectors through an FC stack; the GMF tower
 /// is an elementwise product; a final FC merges both into one logit.
-fn ncf(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+fn ncf(scale: ModelScale, seed: u64, store: StoreBinding) -> Result<RecModel, GraphError> {
     let (user_rows, item_rows, dim, tower): (usize, usize, usize, &[usize]) = match scale {
         ModelScale::Paper => (131_072, 32_768, 64, &[448, 128, 64]),
         ModelScale::Tiny => (500, 200, 16, &[32, 16]),
     };
-    let mut bc = BuildCtx::new(seed);
+    let mut bc = BuildCtx::new(seed, store);
 
     let user_ids = bc.ids_input("user", 1, user_rows);
     let item_ids = bc.ids_input("item", 1, item_rows);
 
-    let t_user_mlp = bc.table(user_rows, dim);
-    let t_item_mlp = bc.table(item_rows, dim);
-    let t_user_gmf = bc.table(user_rows, dim);
-    let t_item_gmf = bc.table(item_rows, dim);
+    let t_user_mlp = bc.table(user_rows, dim)?;
+    let t_item_mlp = bc.table(item_rows, dim)?;
+    let t_user_gmf = bc.table(user_rows, dim)?;
+    let t_item_gmf = bc.table(item_rows, dim)?;
 
     let u_mlp =
         bc.b.sparse_lengths_sum(&mut bc.ctx, "emb_user_mlp", t_user_mlp, user_ids)?;
@@ -252,10 +294,11 @@ fn dlrm(
     shape: &DlrmShape,
     meta: ModelMeta,
     seed: u64,
+    store: StoreBinding,
 ) -> Result<RecModel, GraphError> {
     let latent = *shape.bottom.last().expect("non-empty bottom MLP");
     debug_assert_eq!(latent, shape.dim, "bottom MLP must end at the latent dim");
-    let mut bc = BuildCtx::new(seed);
+    let mut bc = BuildCtx::new(seed, store);
 
     let dense = bc.dense_input("dense", shape.dense);
     let (bottom_out, _) = bc.b.mlp(
@@ -271,7 +314,7 @@ fn dlrm(
     let mut features: Vec<ValueId> = Vec::with_capacity(shape.tables + 1);
     for t in 0..shape.tables {
         let ids = bc.ids_input(&format!("ids_t{t}"), shape.lookups, shape.rows);
-        let table = bc.table(shape.rows, shape.dim);
+        let table = bc.table(shape.rows, shape.dim)?;
         let emb =
             bc.b.sparse_lengths_sum(&mut bc.ctx, &format!("emb_t{t}"), table, ids)?;
         features.push(emb);
@@ -315,7 +358,7 @@ fn dlrm(
 
 /// RM1: small DLRM, 8 tables × 80 lookups — embedding-lookup pressure
 /// from pooling, modest FC stacks.
-fn rm1(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+fn rm1(scale: ModelScale, seed: u64, store: StoreBinding) -> Result<RecModel, GraphError> {
     let shape = match scale {
         ModelScale::Paper => DlrmShape {
             // The dense path is deliberately wide relative to the tiny
@@ -347,12 +390,12 @@ fn rm1(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
         insight: "Small model with medium amount (80) of lookups per embedding table",
         ..meta_template()
     };
-    dlrm(ModelId::Rm1, &shape, meta, seed)
+    dlrm(ModelId::Rm1, &shape, meta, seed, store)
 }
 
 /// RM2: large DLRM, 32 tables × 120 lookups — the suite's heaviest
 /// irregular-memory workload.
-fn rm2(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+fn rm2(scale: ModelScale, seed: u64, store: StoreBinding) -> Result<RecModel, GraphError> {
     let shape = match scale {
         ModelScale::Paper => DlrmShape {
             dense: 256,
@@ -381,12 +424,12 @@ fn rm2(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
         insight: "Large model with large amount (120) of lookups per embedding table",
         ..meta_template()
     };
-    dlrm(ModelId::Rm2, &shape, meta, seed)
+    dlrm(ModelId::Rm2, &shape, meta, seed, store)
 }
 
 /// RM3: DLRM with the suite's largest FC stacks and few lookups —
 /// compute-dominated, immediate continuous input processing.
-fn rm3(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+fn rm3(scale: ModelScale, seed: u64, store: StoreBinding) -> Result<RecModel, GraphError> {
     let shape = match scale {
         ModelScale::Paper => DlrmShape {
             dense: 512,
@@ -415,7 +458,7 @@ fn rm3(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
         insight: "Large model with large FC stacks and immediate continuous input processing",
         ..meta_template()
     };
-    dlrm(ModelId::Rm3, &shape, meta, seed)
+    dlrm(ModelId::Rm3, &shape, meta, seed, store)
 }
 
 // ---------------------------------------------------------------------------
@@ -463,7 +506,7 @@ fn wnd_trunk(bc: &mut BuildCtx, shape: &WndShape) -> Result<(ValueId, ValueId, u
     let mut deep_feats: Vec<ValueId> = Vec::with_capacity(shape.tables + 1);
     for t in 0..shape.tables {
         let ids = bc.ids_input(&format!("cat_t{t}"), 1, shape.rows);
-        let table = bc.table(shape.rows, shape.dim);
+        let table = bc.table(shape.rows, shape.dim)?;
         let emb =
             bc.b.sparse_lengths_sum(&mut bc.ctx, &format!("emb_t{t}"), table, ids)?;
         deep_feats.push(emb);
@@ -482,9 +525,9 @@ fn wnd_trunk(bc: &mut BuildCtx, shape: &WndShape) -> Result<(ValueId, ValueId, u
 
 /// WnD: 26 one-lookup tables feeding a large deep FC stack, summed with a
 /// wide linear logit (Google Play Store app ranking).
-fn wnd(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+fn wnd(scale: ModelScale, seed: u64, store: StoreBinding) -> Result<RecModel, GraphError> {
     let shape = wnd_shape(scale, &[896, 512, 256, 1], &[32, 16, 1]);
-    let mut bc = BuildCtx::new(seed);
+    let mut bc = BuildCtx::new(seed, store);
 
     let (wide_logit, deep_in, deep_w) = wnd_trunk(&mut bc, &shape)?;
     let (deep_logit, _) = bc.b.mlp(
@@ -525,13 +568,13 @@ fn wnd(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
 /// MT-WnD: the WnD trunk with a shared deep stack fanning out into
 /// parallel per-objective FC heads (YouTube multi-task ranking), one
 /// graph output per objective.
-fn mt_wnd(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+fn mt_wnd(scale: ModelScale, seed: u64, store: StoreBinding) -> Result<RecModel, GraphError> {
     let shape = wnd_shape(scale, &[896, 512, 256], &[32, 16]);
     let (heads, head): (usize, &[usize]) = match scale {
         ModelScale::Paper => (7, &[256, 128, 32, 1]),
         ModelScale::Tiny => (2, &[8, 1]),
     };
-    let mut bc = BuildCtx::new(seed);
+    let mut bc = BuildCtx::new(seed, store);
 
     let (wide_logit, deep_in, deep_w) = wnd_trunk(&mut bc, &shape)?;
     let (shared, shared_w) = bc.b.mlp(
@@ -592,13 +635,13 @@ fn mt_wnd(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
 /// weight the sequence into one interest vector. Hundreds of distinct
 /// small operator instances is exactly what gives DIN the suite's worst
 /// instruction-cache behaviour.
-fn din(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+fn din(scale: ModelScale, seed: u64, store: StoreBinding) -> Result<RecModel, GraphError> {
     let (rows, dim, seq_len, att_hidden, top): (usize, usize, usize, usize, &[usize]) = match scale
     {
         ModelScale::Paper => (400_000, 32, 192, 16, &[960, 256, 1]),
         ModelScale::Tiny => (1_000, 8, 8, 4, &[16, 1]),
     };
-    let mut bc = BuildCtx::new(seed);
+    let mut bc = BuildCtx::new(seed, store);
 
     // Inputs: the behaviour sequence, the candidate item, plus
     // single-lookup profile/context features.
@@ -613,8 +656,8 @@ fn din(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
         .map(|n| bc.ids_input(n, 1, rows))
         .collect();
 
-    let t_seq = bc.table(rows, dim);
-    let t_cand = bc.table(rows, dim);
+    let t_seq = bc.table(rows, dim)?;
+    let t_cand = bc.table(rows, dim)?;
     // The candidate is a single-position gather from its goods table.
     let cand_emb = bc.b.add(
         "emb_cand",
@@ -627,7 +670,7 @@ fn din(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
     )?;
     let mut profile_embs: Vec<ValueId> = Vec::with_capacity(profile_names.len());
     for (name, ids) in profile_names.iter().zip(&profile_ids) {
-        let table = bc.table(rows, dim);
+        let table = bc.table(rows, dim)?;
         let emb =
             bc.b.sparse_lengths_sum(&mut bc.ctx, &format!("emb_{name}"), table, *ids)?;
         profile_embs.push(emb);
@@ -721,7 +764,7 @@ fn din(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
 /// DIEN: replaces DIN's per-position activation units with two stacked
 /// GRUs over the behaviour sequence (interest extraction + evolution),
 /// attention-pooled against the candidate item.
-fn dien(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
+fn dien(scale: ModelScale, seed: u64, store: StoreBinding) -> Result<RecModel, GraphError> {
     // The GRU hidden state is wider than the embedding dim: interest
     // evolution carries more state than one item embedding, and the gate
     // matmuls are what make DIEN compute- rather than dispatch-bound
@@ -731,17 +774,17 @@ fn dien(scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
         ModelScale::Paper => (550_000, 32, 96, 49, &[64, 1]),
         ModelScale::Tiny => (1_000, 8, 8, 6, &[16, 1]),
     };
-    let mut bc = BuildCtx::new(seed);
+    let mut bc = BuildCtx::new(seed, store);
 
     let behaviour = bc.ids_input("behaviour", seq_len, rows);
     let candidate = bc.ids_input("candidate", 1, rows);
     let user = bc.ids_input("user", 1, rows);
     let context = bc.ids_input("context", 1, rows);
 
-    let t_seq = bc.table(rows, dim);
-    let t_cand = bc.table(rows, dim);
-    let t_user = bc.table(rows, dim);
-    let t_ctx = bc.table(rows, dim);
+    let t_seq = bc.table(rows, dim)?;
+    let t_cand = bc.table(rows, dim)?;
+    let t_user = bc.table(rows, dim)?;
+    let t_ctx = bc.table(rows, dim)?;
 
     let cand_emb =
         bc.b.sparse_lengths_sum(&mut bc.ctx, "emb_cand", t_cand, candidate)?;
@@ -941,5 +984,54 @@ mod tests {
         let b = ModelId::Rm1.build(ModelScale::Tiny, 5).unwrap();
         assert_eq!(a.meta(), b.meta());
         assert_eq!(a.graph().len(), b.graph().len());
+    }
+
+    #[test]
+    fn store_backed_f32_build_matches_plain_build_bit_for_bit() {
+        use drec_store::{EmbeddingStore, RowEncoding, StoreConfig};
+
+        let store = Arc::new(EmbeddingStore::new(StoreConfig {
+            encoding: RowEncoding::F32,
+            cache_capacity_rows: 512,
+            ..StoreConfig::default()
+        }));
+        let mut plain = ModelId::Rm1.build(ModelScale::Tiny, 9).unwrap();
+        let mut stored = ModelId::Rm1
+            .build_with_store(ModelScale::Tiny, 9, Arc::clone(&store))
+            .unwrap();
+        assert_eq!(plain.meta(), stored.meta());
+
+        let spec = plain.spec().clone();
+        for round in 0..2 {
+            let out_p = plain.run(inputs_for(&spec, 4)).unwrap();
+            let out_s = stored.run(inputs_for(&spec, 4)).unwrap();
+            let (p, s) = (
+                out_p[0].as_dense().unwrap().as_slice(),
+                out_s[0].as_dense().unwrap().as_slice(),
+            );
+            for (a, b) in p.iter().zip(s) {
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn identically_seeded_store_builds_share_tables() {
+        use drec_store::{EmbeddingStore, StoreConfig};
+
+        let store = Arc::new(EmbeddingStore::new(StoreConfig::default()));
+        let a = ModelId::Rm1
+            .build_with_store(ModelScale::Tiny, 5, Arc::clone(&store))
+            .unwrap();
+        let _b = ModelId::Rm1
+            .build_with_store(ModelScale::Tiny, 5, Arc::clone(&store))
+            .unwrap();
+        // Worker replicas dedupe to one parameter copy...
+        assert_eq!(store.stats().tables, a.meta().num_tables);
+        // ...while a different seed registers fresh tables.
+        let _c = ModelId::Rm1
+            .build_with_store(ModelScale::Tiny, 6, Arc::clone(&store))
+            .unwrap();
+        assert_eq!(store.stats().tables, 2 * a.meta().num_tables);
     }
 }

@@ -129,7 +129,7 @@ impl CustomDlrm {
         let mut features: Vec<ValueId> = Vec::with_capacity(self.tables + 1);
         for t in 0..self.tables {
             let ids = bc.ids_input(&format!("ids_t{t}"), self.lookups, self.rows);
-            let table = bc.table(self.rows, self.dim);
+            let table = bc.table(self.rows, self.dim)?;
             let emb =
                 bc.b.sparse_lengths_sum(&mut bc.ctx, &format!("emb_t{t}"), table, ids)?;
             features.push(emb);

@@ -60,8 +60,51 @@ impl ModelId {
     /// Returns a [`GraphError`] if graph construction fails (which would
     /// indicate a bug in the builder, not user error).
     pub fn build(self, scale: ModelScale, seed: u64) -> Result<RecModel, GraphError> {
-        builders::build(self, scale, seed)
+        builders::build(self, scale, seed, None)
     }
+
+    /// Like [`ModelId::build`], but embedding tables register in `store`
+    /// instead of owning dense tensors. Identically configured builds
+    /// (same model, scale, and seed) share one parameter copy — the
+    /// registration namespace is derived from all three — while any
+    /// differing build gets its own tables. With the store's `f32`
+    /// encoding the model's outputs are bit-identical to a plain
+    /// [`ModelId::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if graph construction or store
+    /// registration fails.
+    pub fn build_with_store(
+        self,
+        scale: ModelScale,
+        seed: u64,
+        store: std::sync::Arc<drec_store::EmbeddingStore>,
+    ) -> Result<RecModel, GraphError> {
+        let namespace = store_namespace(self, scale, seed);
+        builders::build(self, scale, seed, Some((store, namespace)))
+    }
+}
+
+/// FNV-1a over the build identity (model name, scale discriminant, seed):
+/// one registration namespace per distinct build configuration.
+fn store_namespace(id: ModelId, scale: ModelScale, seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in id.name().bytes() {
+        eat(b);
+    }
+    eat(match scale {
+        ModelScale::Tiny => 1,
+        ModelScale::Paper => 2,
+    });
+    for b in seed.to_le_bytes() {
+        eat(b);
+    }
+    h
 }
 
 impl std::fmt::Display for ModelId {

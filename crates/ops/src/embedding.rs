@@ -1,5 +1,6 @@
 use std::sync::Arc;
 
+use drec_store::{EmbeddingStore, PinnedTable};
 use drec_tensor::{ParamInit, Tensor};
 use drec_trace::{BranchProfile, CodeFootprint, CodeRegion, WorkVector};
 
@@ -51,6 +52,16 @@ fn segment_starts(lengths: &[u32]) -> Vec<usize> {
     starts
 }
 
+/// Where an [`EmbeddingTable`]'s physical rows live.
+#[derive(Debug)]
+enum Backing {
+    /// A dense tensor owned by the table (the original direct path).
+    Dense(Tensor),
+    /// A pinned table inside a shared [`EmbeddingStore`] (sharded,
+    /// possibly quantized, possibly hot-row cached).
+    Store(PinnedTable),
+}
+
 /// An embedding table with a production-sized *virtual* row space backed by
 /// a truncated physical buffer.
 ///
@@ -61,38 +72,107 @@ fn segment_starts(lengths: &[u32]) -> Vec<usize> {
 /// read row `id % physical_rows`; the *trace* records the untruncated
 /// virtual address, so cache simulators see production-sized, irregular
 /// footprints. This substitution is documented in DESIGN.md.
+///
+/// Physical rows live either in a dense tensor owned by the table
+/// ([`EmbeddingTable::new`]) or in a shared [`EmbeddingStore`]
+/// ([`EmbeddingTable::new_in_store`]) — the trace contract is identical in
+/// both cases, and the store's `f32` encoding reproduces the dense path
+/// bit for bit.
 #[derive(Debug)]
 pub struct EmbeddingTable {
-    data: Tensor,
+    backing: Backing,
+    physical_rows: usize,
     virtual_rows: usize,
     dim: usize,
     base: u64,
 }
 
 impl EmbeddingTable {
+    fn validate(virtual_rows: usize, dim: usize, physical_cap: usize) -> Result<()> {
+        if virtual_rows == 0 || dim == 0 || physical_cap == 0 {
+            return Err(OpError::InvalidInput {
+                op: "EmbeddingTable",
+                message: format!(
+                    "table shape must be non-zero, got virtual_rows={virtual_rows} \
+                     dim={dim} physical_cap={physical_cap}"
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Creates a table of `virtual_rows × dim`, physically capped at
-    /// `physical_cap` rows.
+    /// `physical_cap` rows, owning its rows as a dense tensor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `virtual_rows`, `dim`, or `physical_cap` is zero.
+    /// [`OpError::InvalidInput`] if `virtual_rows`, `dim`, or
+    /// `physical_cap` is zero.
     pub fn new(
         virtual_rows: usize,
         dim: usize,
         physical_cap: usize,
         ctx: &mut ExecContext,
         init: &mut ParamInit,
-    ) -> Arc<Self> {
-        assert!(virtual_rows > 0 && dim > 0 && physical_cap > 0);
+    ) -> Result<Arc<Self>> {
+        Self::validate(virtual_rows, dim, physical_cap)?;
         let physical_rows = virtual_rows.min(physical_cap);
         let data = init.uniform(&[physical_rows, dim], -0.05, 0.05);
         let base = ctx.alloc_param((virtual_rows * dim * 4) as u64);
-        Arc::new(EmbeddingTable {
-            data,
+        Ok(Arc::new(EmbeddingTable {
+            backing: Backing::Dense(data),
+            physical_rows,
             virtual_rows,
             dim,
             base,
-        })
+        }))
+    }
+
+    /// Like [`EmbeddingTable::new`], but registers the physical rows in
+    /// `store` under `(namespace, ordinal)` instead of owning them. If
+    /// the pair is already registered (another worker built the same
+    /// model from the same seed) the existing rows are shared.
+    ///
+    /// The parameter RNG is always advanced by exactly one table draw —
+    /// including on the dedup path — so a store-backed build consumes the
+    /// same `init` stream as a dense build and every downstream parameter
+    /// (FC weights, further tables) stays bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::InvalidInput`] on a zero dimension or a store
+    /// registration conflict.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_in_store(
+        virtual_rows: usize,
+        dim: usize,
+        physical_cap: usize,
+        ctx: &mut ExecContext,
+        init: &mut ParamInit,
+        store: &Arc<EmbeddingStore>,
+        namespace: u64,
+        ordinal: u32,
+    ) -> Result<Arc<Self>> {
+        Self::validate(virtual_rows, dim, physical_cap)?;
+        let physical_rows = virtual_rows.min(physical_cap);
+        // Drawn unconditionally (even when registration dedups to an
+        // existing table) to keep the RNG stream aligned with a dense
+        // build.
+        let data = init.uniform(&[physical_rows, dim], -0.05, 0.05);
+        let base = ctx.alloc_param((virtual_rows * dim * 4) as u64);
+        let handle = store
+            .register(namespace, ordinal, physical_rows, dim, data.as_slice())
+            .map_err(|e| OpError::InvalidInput {
+                op: "EmbeddingTable",
+                message: e.to_string(),
+            })?;
+        Ok(Arc::new(EmbeddingTable {
+            backing: Backing::Store(store.pin(handle)),
+            physical_rows,
+            virtual_rows,
+            dim,
+            base,
+        }))
     }
 
     /// Embedding dimension.
@@ -107,7 +187,12 @@ impl EmbeddingTable {
 
     /// Physically allocated row count.
     pub fn physical_rows(&self) -> usize {
-        self.data.dims()[0]
+        self.physical_rows
+    }
+
+    /// Whether rows resolve through a shared [`EmbeddingStore`].
+    pub fn store_backed(&self) -> bool {
+        matches!(self.backing, Backing::Store(_))
     }
 
     /// Bytes of parameters at the *virtual* size (what a production
@@ -116,15 +201,58 @@ impl EmbeddingTable {
         (self.virtual_rows * self.dim * 4) as u64
     }
 
+    /// Adds row `id`'s contents into `acc` (`acc[i] += row[i]`, left to
+    /// right). Both backings perform the identical f32 reduction, so the
+    /// store's `f32` encoding matches the dense path bit for bit.
+    fn sum_row(&self, id: u32, acc: &mut [f32]) {
+        let phys = (id as usize) % self.physical_rows;
+        match &self.backing {
+            Backing::Dense(data) => {
+                let row = &data.as_slice()[phys * self.dim..(phys + 1) * self.dim];
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a += v;
+                }
+            }
+            Backing::Store(pin) => pin.sum_row(phys as u32, acc),
+        }
+    }
+
+    /// Copies row `id`'s contents into `dst` (length `dim`).
+    fn copy_row(&self, id: u32, dst: &mut [f32]) {
+        let phys = (id as usize) % self.physical_rows;
+        match &self.backing {
+            Backing::Dense(data) => {
+                dst.copy_from_slice(&data.as_slice()[phys * self.dim..(phys + 1) * self.dim]);
+            }
+            Backing::Store(pin) => pin.read_row(phys as u32, dst),
+        }
+    }
+
     /// Row contents for `id` (wrapped into the physical buffer).
+    /// Dense-backed tables only; tests use it for expected values.
+    #[cfg(test)]
     fn row(&self, id: u32) -> &[f32] {
-        let phys = (id as usize) % self.physical_rows();
-        &self.data.as_slice()[phys * self.dim..(phys + 1) * self.dim]
+        let phys = (id as usize) % self.physical_rows;
+        match &self.backing {
+            Backing::Dense(data) => &data.as_slice()[phys * self.dim..(phys + 1) * self.dim],
+            Backing::Store(_) => panic!("row() is for dense-backed tables"),
+        }
     }
 
     /// Virtual address of row `id`.
     fn row_addr(&self, id: u32) -> u64 {
         self.base + (id as u64 % self.virtual_rows as u64) * (self.dim as u64 * 4)
+    }
+}
+
+/// Returns the first id in `ids` past `table`'s virtual row space as a
+/// typed error, so malformed requests shed instead of silently wrapping
+/// (or, in a serving worker, panicking).
+fn check_ids_in_range(op: &'static str, ids: &[u32], table: &EmbeddingTable) -> Result<()> {
+    let space = table.virtual_rows();
+    match ids.iter().find(|&&id| (id as usize) >= space) {
+        Some(&id) => Err(OpError::IndexOutOfRange { op, id, space }),
+        None => Ok(()),
     }
 }
 
@@ -259,6 +387,7 @@ impl Operator for SparseLengthsSum {
     fn run(&self, ctx: &mut ExecContext, inputs: &[&Value]) -> Result<Value> {
         check_arity("SparseLengthsSum", inputs, 1)?;
         let ids = inputs[0].ids_ref("SparseLengthsSum")?;
+        check_ids_in_range("SparseLengthsSum", &ids.ids, &self.table)?;
         let batch = ids.batch();
         let dim = self.table.dim();
         let tracing = ctx.tracing_enabled();
@@ -287,10 +416,7 @@ impl Operator for SparseLengthsSum {
             for (sample, &len) in ids.lengths.iter().enumerate() {
                 let acc = &mut out.as_mut_slice()[sample * dim..(sample + 1) * dim];
                 for &id in &ids.ids[pos..pos + len as usize] {
-                    let row = self.table.row(id);
-                    for (a, &v) in acc.iter_mut().zip(row) {
-                        *a += v;
-                    }
+                    self.table.sum_row(id, acc);
                     ctx.record_read(self.table.row_addr(id), row_bytes);
                     lookups += 1;
                 }
@@ -312,10 +438,7 @@ impl Operator for SparseLengthsSum {
                     let len = ids.lengths[sample];
                     let start = starts[sample];
                     for &id in &ids.ids[start..start + len as usize] {
-                        let row = self.table.row(id);
-                        for (a, &v) in acc.iter_mut().zip(row) {
-                            *a += v;
-                        }
+                        self.table.sum_row(id, acc);
                     }
                     pool_segment(acc, self.mode, len);
                 }
@@ -398,6 +521,7 @@ impl Operator for EmbeddingGather {
     fn run(&self, ctx: &mut ExecContext, inputs: &[&Value]) -> Result<Value> {
         check_arity("Gather", inputs, 1)?;
         let ids = inputs[0].ids_ref("Gather")?;
+        check_ids_in_range("Gather", &ids.ids, &self.table)?;
         let batch = ids.batch();
         let dim = self.table.dim();
         let tracing = ctx.tracing_enabled();
@@ -441,8 +565,10 @@ impl Operator for EmbeddingGather {
                 if tracing {
                     for (sample, &start) in starts.iter().enumerate().take(batch) {
                         let id = ids.ids[start + p];
-                        out.as_mut_slice()[sample * dim..(sample + 1) * dim]
-                            .copy_from_slice(self.table.row(id));
+                        self.table.copy_row(
+                            id,
+                            &mut out.as_mut_slice()[sample * dim..(sample + 1) * dim],
+                        );
                         ctx.record_read(self.table.row_addr(id), row_bytes);
                     }
                 } else {
@@ -452,7 +578,7 @@ impl Operator for EmbeddingGather {
                         let first = offset / dim;
                         for (s, dst) in block.chunks_mut(dim).enumerate() {
                             let id = ids.ids[starts[first + s] + p];
-                            dst.copy_from_slice(self.table.row(id));
+                            self.table.copy_row(id, dst);
                         }
                     });
                 }
@@ -479,7 +605,8 @@ impl Operator for EmbeddingGather {
                         for t in 0..seq_len {
                             let id = ids.ids[pos + t];
                             let off = sample * sample_elems + t * dim;
-                            out.as_mut_slice()[off..off + dim].copy_from_slice(self.table.row(id));
+                            self.table
+                                .copy_row(id, &mut out.as_mut_slice()[off..off + dim]);
                             ctx.record_read(self.table.row_addr(id), row_bytes);
                         }
                         pos += seq_len;
@@ -492,7 +619,7 @@ impl Operator for EmbeddingGather {
                         for (s, dst) in block.chunks_mut(sample_elems).enumerate() {
                             let pos = (first + s) * seq_len;
                             for (t, cell) in dst.chunks_mut(dim).enumerate() {
-                                cell.copy_from_slice(self.table.row(ids.ids[pos + t]));
+                                self.table.copy_row(ids.ids[pos + t], cell);
                             }
                         }
                     });
@@ -535,7 +662,7 @@ mod tests {
     #[test]
     fn sls_pools_rows() {
         let (mut ctx, mut init) = setup();
-        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init).unwrap();
         let sls = SparseLengthsSum::new(Arc::clone(&table), &mut ctx);
         let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 2, 3], vec![2, 1])));
         let out = sls.execute(&mut ctx, "sls", &[&ids]).unwrap();
@@ -552,7 +679,7 @@ mod tests {
     #[test]
     fn sls_trace_records_gathers() {
         let (mut ctx, mut init) = setup();
-        let table = EmbeddingTable::new(1000, 16, 100, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(1000, 16, 100, &mut ctx, &mut init).unwrap();
         let sls = SparseLengthsSum::new(table, &mut ctx);
         let ids = ctx.external_input(Value::ids(IdList::new(
             (0..40).map(|i| i * 13 % 1000).collect(),
@@ -569,7 +696,7 @@ mod tests {
     #[test]
     fn mean_pooling_averages_rows() {
         let (mut ctx, mut init) = setup();
-        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init).unwrap();
         let mean = SparseLengthsSum::with_mode(Arc::clone(&table), PoolMode::Mean, &mut ctx);
         let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 3], vec![2])));
         let out = mean.execute(&mut ctx, "mean", &[&ids]).unwrap();
@@ -584,7 +711,7 @@ mod tests {
     #[test]
     fn mean_pooling_empty_segment_is_zero() {
         let (mut ctx, mut init) = setup();
-        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init).unwrap();
         let mean = SparseLengthsSum::with_mode(table, PoolMode::Mean, &mut ctx);
         let ids = ctx.external_input(Value::ids(IdList::new(vec![2], vec![0, 1])));
         let out = mean.execute(&mut ctx, "mean", &[&ids]).unwrap();
@@ -595,7 +722,7 @@ mod tests {
     #[test]
     fn virtual_rows_exceed_physical() {
         let (mut ctx, mut init) = setup();
-        let table = EmbeddingTable::new(1_000_000, 8, 64, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(1_000_000, 8, 64, &mut ctx, &mut init).unwrap();
         assert_eq!(table.physical_rows(), 64);
         assert_eq!(table.virtual_rows(), 1_000_000);
         // Distinct virtual ids mapping to the same physical row still get
@@ -607,7 +734,7 @@ mod tests {
     #[test]
     fn gather_position_extracts_single_id() {
         let (mut ctx, mut init) = setup();
-        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init).unwrap();
         let g = EmbeddingGather::new(Arc::clone(&table), GatherMode::Position(1), &mut ctx);
         let ids = ctx.external_input(Value::ids(IdList::new(vec![5, 7, 2, 9], vec![2, 2])));
         let out = g.execute(&mut ctx, "g", &[&ids]).unwrap();
@@ -620,7 +747,7 @@ mod tests {
     #[test]
     fn gather_position_out_of_range_errors() {
         let (mut ctx, mut init) = setup();
-        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init).unwrap();
         let g = EmbeddingGather::new(table, GatherMode::Position(5), &mut ctx);
         let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 2], vec![2])));
         assert!(g.run(&mut ctx, &[&ids]).is_err());
@@ -629,7 +756,7 @@ mod tests {
     #[test]
     fn gather_full_sequence_layout() {
         let (mut ctx, mut init) = setup();
-        let table = EmbeddingTable::new(10, 3, 10, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(10, 3, 10, &mut ctx, &mut init).unwrap();
         let g = EmbeddingGather::new(Arc::clone(&table), GatherMode::FullSequence, &mut ctx);
         let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 2, 3, 4], vec![2, 2])));
         let out = g.execute(&mut ctx, "g", &[&ids]).unwrap();
@@ -641,9 +768,116 @@ mod tests {
     #[test]
     fn gather_full_sequence_requires_uniform_lengths() {
         let (mut ctx, mut init) = setup();
-        let table = EmbeddingTable::new(10, 3, 10, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(10, 3, 10, &mut ctx, &mut init).unwrap();
         let g = EmbeddingGather::new(table, GatherMode::FullSequence, &mut ctx);
         let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 2, 3], vec![2, 1])));
         assert!(g.run(&mut ctx, &[&ids]).is_err());
+    }
+
+    #[test]
+    fn zero_sized_table_is_a_typed_error() {
+        let (mut ctx, mut init) = setup();
+        for (rows, dim, cap) in [(0, 4, 10), (10, 0, 10), (10, 4, 0)] {
+            let err = EmbeddingTable::new(rows, dim, cap, &mut ctx, &mut init).unwrap_err();
+            assert!(matches!(
+                err,
+                OpError::InvalidInput {
+                    op: "EmbeddingTable",
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn out_of_range_id_is_a_typed_error_not_a_wrap() {
+        let (mut ctx, mut init) = setup();
+        let table = EmbeddingTable::new(10, 4, 10, &mut ctx, &mut init).unwrap();
+        let sls = SparseLengthsSum::new(Arc::clone(&table), &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(vec![1, 10], vec![2])));
+        assert_eq!(
+            sls.run(&mut ctx, &[&ids]).unwrap_err(),
+            OpError::IndexOutOfRange {
+                op: "SparseLengthsSum",
+                id: 10,
+                space: 10
+            }
+        );
+        let g = EmbeddingGather::new(table, GatherMode::Position(0), &mut ctx);
+        let ids = ctx.external_input(Value::ids(IdList::new(vec![u32::MAX], vec![1])));
+        assert_eq!(
+            g.run(&mut ctx, &[&ids]).unwrap_err(),
+            OpError::IndexOutOfRange {
+                op: "Gather",
+                id: u32::MAX,
+                space: 10
+            }
+        );
+    }
+
+    fn store_with(
+        encoding: drec_store::RowEncoding,
+        cache_capacity_rows: usize,
+    ) -> Arc<EmbeddingStore> {
+        Arc::new(EmbeddingStore::new(drec_store::StoreConfig {
+            encoding,
+            cache_capacity_rows,
+            ..drec_store::StoreConfig::default()
+        }))
+    }
+
+    #[test]
+    fn store_backed_f32_sls_is_bit_identical_to_dense() {
+        let (mut ctx, mut init) = setup();
+        let dense = EmbeddingTable::new(50, 8, 50, &mut ctx, &mut init).unwrap();
+        let (mut sctx, mut sinit) = setup();
+        let store = store_with(drec_store::RowEncoding::F32, 16);
+        let stored =
+            EmbeddingTable::new_in_store(50, 8, 50, &mut sctx, &mut sinit, &store, 1, 0).unwrap();
+        assert!(stored.store_backed() && !dense.store_backed());
+
+        let sls_d = SparseLengthsSum::new(dense, &mut ctx);
+        let sls_s = SparseLengthsSum::new(stored, &mut sctx);
+        let id_list = IdList::new(vec![3, 7, 7, 49, 0, 12], vec![2, 3, 1]);
+        // Two passes so the second one runs against a warm hot-row cache.
+        for pass in 0..2 {
+            let ids_d = ctx.external_input(Value::ids(id_list.clone()));
+            let ids_s = sctx.external_input(Value::ids(id_list.clone()));
+            let out_d = sls_d.run(&mut ctx, &[&ids_d]).unwrap();
+            let out_s = sls_s.run(&mut sctx, &[&ids_s]).unwrap();
+            let (d, s) = (out_d.as_dense().unwrap(), out_s.as_dense().unwrap());
+            for (a, b) in d.as_slice().iter().zip(s.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "pass {pass}");
+            }
+        }
+        assert!(store.stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn store_backed_int8_sls_stays_within_dequant_bound() {
+        let (mut ctx, mut init) = setup();
+        let dense = EmbeddingTable::new(50, 8, 50, &mut ctx, &mut init).unwrap();
+        let (mut sctx, mut sinit) = setup();
+        let store = store_with(drec_store::RowEncoding::Int8, 0);
+        let stored =
+            EmbeddingTable::new_in_store(50, 8, 50, &mut sctx, &mut sinit, &store, 1, 0).unwrap();
+
+        let sls_d = SparseLengthsSum::new(Arc::clone(&dense), &mut ctx);
+        let sls_s = SparseLengthsSum::new(stored, &mut sctx);
+        let id_list = IdList::new(vec![3, 7, 49, 0], vec![2, 2]);
+        let ids_d = ctx.external_input(Value::ids(id_list.clone()));
+        let ids_s = sctx.external_input(Value::ids(id_list.clone()));
+        let out_d = sls_d.run(&mut ctx, &[&ids_d]).unwrap();
+        let out_s = sls_s.run(&mut sctx, &[&ids_s]).unwrap();
+        let (d, s) = (out_d.as_dense().unwrap(), out_s.as_dense().unwrap());
+        // Each output sums 2 rows, so the pooled error is at most 2x the
+        // worst per-row bound (plus accumulation noise, far below it).
+        let bound: f32 = (0..50)
+            .map(|r| drec_store::RowEncoding::Int8.error_bound(dense.row(r)))
+            .fold(0.0, f32::max)
+            * 2.5;
+        for (a, b) in d.as_slice().iter().zip(s.as_slice()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
     }
 }

@@ -32,6 +32,17 @@ pub enum OpError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A lookup id addressed a row past the table's logical row space.
+    /// Returned (not panicked) so a malformed serving request sheds
+    /// instead of killing a worker.
+    IndexOutOfRange {
+        /// Operator type name.
+        op: &'static str,
+        /// The offending id.
+        id: u32,
+        /// The table's logical (virtual) row count.
+        space: usize,
+    },
 }
 
 impl fmt::Display for OpError {
@@ -47,6 +58,9 @@ impl fmt::Display for OpError {
                 write!(f, "{op} expects {expected} input values")
             }
             OpError::InvalidInput { op, message } => write!(f, "{op}: {message}"),
+            OpError::IndexOutOfRange { op, id, space } => {
+                write!(f, "{op}: id {id} out of range for table of {space} rows")
+            }
         }
     }
 }

@@ -76,7 +76,7 @@ fn value_kind_mismatches_are_typed_errors() {
     assert!(relu.run(&mut c, &[&sparse]).is_err());
 
     // Sparse ops fed dense.
-    let table = EmbeddingTable::new(100, 4, 100, &mut c, &mut init);
+    let table = EmbeddingTable::new(100, 4, 100, &mut c, &mut init).unwrap();
     let sls = SparseLengthsSum::new(std::sync::Arc::clone(&table), &mut c);
     assert!(matches!(
         sls.run(&mut c, &[&x]),

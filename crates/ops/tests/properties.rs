@@ -52,7 +52,7 @@ fn sls_is_additive_over_segments() {
         let seed = rng.u64_in(0..500);
         let mut ctx = ExecContext::new();
         let mut init = ParamInit::new(seed);
-        let table = EmbeddingTable::new(100, dim, 100, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(100, dim, 100, &mut ctx, &mut init).unwrap();
         let sls = SparseLengthsSum::new(Arc::clone(&table), &mut ctx);
 
         // One sample holding ids_a ++ ids_b…
@@ -87,7 +87,7 @@ fn mean_pooling_equals_sum_divided_by_count() {
         let seed = rng.u64_in(0..500);
         let mut ctx = ExecContext::new();
         let mut init = ParamInit::new(seed);
-        let table = EmbeddingTable::new(50, dim, 50, &mut ctx, &mut init);
+        let table = EmbeddingTable::new(50, dim, 50, &mut ctx, &mut init).unwrap();
         let sum_op = SparseLengthsSum::new(Arc::clone(&table), &mut ctx);
         let mean_op = SparseLengthsSum::with_mode(Arc::clone(&table), PoolMode::Mean, &mut ctx);
         let n = ids.len() as f32;

@@ -9,6 +9,7 @@ use drec_core::serving::LatencyCurve;
 use drec_models::{InputSpec, RecModel};
 use drec_ops::Value;
 use drec_par::ParPool;
+use drec_store::EmbeddingStore;
 
 use crate::error::{Result, ServeError};
 use crate::request::{coalesce_inputs, split_outputs, Request};
@@ -32,6 +33,7 @@ pub struct Engine {
     model: RecModel,
     curve: LatencyCurve,
     pool: Arc<ParPool>,
+    store: Option<Arc<EmbeddingStore>>,
 }
 
 impl Engine {
@@ -46,7 +48,30 @@ impl Engine {
     /// pool — how the serving runtime shares one intra-op pool across all
     /// worker engines.
     pub fn with_pool(model: RecModel, curve: LatencyCurve, pool: Arc<ParPool>) -> Self {
-        Engine { model, curve, pool }
+        Self::with_store(model, curve, pool, None)
+    }
+
+    /// Like [`Engine::with_pool`], additionally holding a reference to
+    /// the shared [`EmbeddingStore`] the model was built against (if
+    /// any), so callers can reach its stats from the engine.
+    pub fn with_store(
+        model: RecModel,
+        curve: LatencyCurve,
+        pool: Arc<ParPool>,
+        store: Option<Arc<EmbeddingStore>>,
+    ) -> Self {
+        Engine {
+            model,
+            curve,
+            pool,
+            store,
+        }
+    }
+
+    /// The shared embedding store this engine's model resolves lookups
+    /// through, when store-backed.
+    pub fn store(&self) -> Option<&Arc<EmbeddingStore>> {
+        self.store.as_ref()
     }
 
     /// The model's input contract.

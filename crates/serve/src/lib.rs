@@ -52,3 +52,7 @@ pub use error::{Result, ServeError};
 pub use metrics::{LatencyHistogram, MetricsRegistry, MetricsSnapshot, WorkerMetrics};
 pub use request::{coalesce_inputs, split_outputs, validate_single, Request, RequestId, Response};
 pub use runtime::{PendingResponse, ServeConfig, ServeHandle, ServeRuntime};
+
+// Re-exported so serving callers can configure the shared parameter store
+// without depending on `drec-store` directly.
+pub use drec_store::{CachePolicy, EmbeddingStore, RowEncoding, StoreConfig, StoreStats};

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use drec_par::{ParPool, PoolStats};
+use drec_store::{EmbeddingStore, StoreStats};
 
 /// Number of histogram buckets: 4 per octave × 26 octaves covers
 /// 1 µs … ~67 s end-to-end latencies.
@@ -142,6 +143,9 @@ pub struct MetricsRegistry {
     started_at: Instant,
     pool: Arc<ParPool>,
     pool_baseline: PoolStats,
+    /// The shared embedding store (when the runtime uses one) plus its
+    /// stats at construction; snapshot counters are deltas from there.
+    store: Option<(Arc<EmbeddingStore>, StoreStats)>,
 }
 
 impl MetricsRegistry {
@@ -155,7 +159,23 @@ impl MetricsRegistry {
     /// pool (the one the runtime's engines execute on). Pool counters in
     /// snapshots are deltas from this construction point.
     pub fn with_pool(workers: usize, pool: Arc<ParPool>) -> Self {
+        Self::with_pool_and_store(workers, pool, None)
+    }
+
+    /// Like [`MetricsRegistry::with_pool`], additionally observing a
+    /// shared [`EmbeddingStore`]. Store counters in snapshots (lookups,
+    /// cache hits/misses/evictions) are deltas from this construction
+    /// point; byte and occupancy gauges are absolute.
+    pub fn with_pool_and_store(
+        workers: usize,
+        pool: Arc<ParPool>,
+        store: Option<Arc<EmbeddingStore>>,
+    ) -> Self {
         let pool_baseline = pool.stats();
+        let store = store.map(|s| {
+            let baseline = s.stats();
+            (s, baseline)
+        });
         MetricsRegistry {
             accepted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -167,6 +187,7 @@ impl MetricsRegistry {
             started_at: Instant::now(),
             pool,
             pool_baseline,
+            store,
         }
     }
 
@@ -232,6 +253,10 @@ impl MetricsRegistry {
             pool_threads: pool_delta.threads,
             pool_tasks: pool_delta.tasks,
             pool_utilization: pool_delta.utilization(elapsed),
+            store: self
+                .store
+                .as_ref()
+                .map(|(s, baseline)| s.stats().since(baseline)),
             uptime_seconds: elapsed,
         }
     }
@@ -270,6 +295,10 @@ pub struct MetricsSnapshot {
     pub pool_tasks: u64,
     /// Mean busy fraction per pool thread since the registry was created.
     pub pool_utilization: f64,
+    /// Embedding-store stats (hit rate, resident bytes, bytes saved by
+    /// quantization) when the runtime serves through a shared store;
+    /// counters are deltas since the registry was created.
+    pub store: Option<StoreStats>,
     /// Seconds since the registry was created.
     pub uptime_seconds: f64,
 }

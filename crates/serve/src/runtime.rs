@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use drec_core::serving::LatencyCurve;
 use drec_models::{InputSpec, ModelId, ModelScale};
 use drec_ops::Value;
+use drec_store::{EmbeddingStore, StoreConfig};
 
 use crate::batcher::{BatcherConfig, SharedQueue};
 use crate::engine::Engine;
@@ -49,6 +50,11 @@ pub struct ServeConfig {
     /// Latency curve used for modelled batch timings and the
     /// admission-delay estimate.
     pub curve: LatencyCurve,
+    /// When set, all workers resolve embedding lookups through one shared
+    /// [`EmbeddingStore`] with this configuration (deduplicated
+    /// parameters, optional quantization and hot-row caching); `None`
+    /// keeps the original per-worker dense tables.
+    pub store: Option<StoreConfig>,
 }
 
 impl ServeConfig {
@@ -64,6 +70,7 @@ impl ServeConfig {
             queue_capacity: 1024,
             delay_budget: Duration::from_secs(60),
             curve: LatencyCurve::from_points(vec![(1, 1e-4), (1024, 1e-2)]),
+            store: None,
         }
     }
 }
@@ -100,20 +107,34 @@ impl ServeRuntime {
         // One intra-op pool shared by every worker engine; snapshots report
         // its task counts and utilization alongside the worker metrics.
         let pool = drec_par::current();
-        let metrics = Arc::new(MetricsRegistry::with_pool(cfg.workers, Arc::clone(&pool)));
+        // One parameter store shared by every worker: replica builds
+        // dedupe to a single copy of the embedding tables.
+        let store = cfg
+            .store
+            .clone()
+            .map(|sc| Arc::new(EmbeddingStore::new(sc)));
+        let metrics = Arc::new(MetricsRegistry::with_pool_and_store(
+            cfg.workers,
+            Arc::clone(&pool),
+            store.clone(),
+        ));
 
         let mut engines = Vec::with_capacity(cfg.workers);
         for _ in 0..cfg.workers {
-            let model =
-                cfg.model
-                    .build(cfg.scale, cfg.seed)
-                    .map_err(|e| ServeError::WorkerFailed {
-                        reason: format!("model build failed: {e}"),
-                    })?;
-            engines.push(Engine::with_pool(
+            let model = match &store {
+                Some(s) => cfg
+                    .model
+                    .build_with_store(cfg.scale, cfg.seed, Arc::clone(s)),
+                None => cfg.model.build(cfg.scale, cfg.seed),
+            }
+            .map_err(|e| ServeError::WorkerFailed {
+                reason: format!("model build failed: {e}"),
+            })?;
+            engines.push(Engine::with_store(
                 model,
                 cfg.curve.clone(),
                 Arc::clone(&pool),
+                store.clone(),
             ));
         }
         let spec = Arc::new(engines[0].spec().clone());

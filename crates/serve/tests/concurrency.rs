@@ -23,6 +23,7 @@ fn config(model: ModelId) -> ServeConfig {
         queue_capacity: 1 << 20,
         delay_budget: Duration::from_secs(3600),
         curve: LatencyCurve::from_points(vec![(1, 1e-4), (1024, 1e-2)]),
+        store: None,
     }
 }
 

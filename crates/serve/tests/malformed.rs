@@ -1,0 +1,79 @@
+//! Malformed requests must shed, not kill workers.
+//!
+//! A request can pass [`drec_serve::validate_single`] (right slot count,
+//! right shapes) while still carrying embedding ids outside the table's
+//! id space. Before the typed [`drec_ops::OpError::IndexOutOfRange`]
+//! error existed, the lookup `assert!`ed and took the worker thread down
+//! with it; now the worker answers [`ServeError::WorkerFailed`] for that
+//! request and keeps serving. This test locks in that behaviour for both
+//! dense-table and store-backed runtimes.
+
+use drec_models::{InputSlot, ModelId};
+use drec_ops::{IdList, Value};
+use drec_serve::{ServeConfig, ServeError, ServeRuntime, StoreConfig};
+use drec_tensor::Tensor;
+use drec_workload::QueryGen;
+
+/// A batch-1 payload that satisfies the shape contract but puts every
+/// categorical id far outside the table's virtual id space.
+fn poisoned_inputs(spec: &drec_models::InputSpec) -> Vec<Value> {
+    spec.slots()
+        .iter()
+        .map(|(_, slot)| match slot {
+            InputSlot::Dense { width } => Value::dense(
+                Tensor::from_vec(vec![0.0; *width], &[1, *width]).expect("dense slot shape"),
+            ),
+            InputSlot::Ids { lookups, .. } => {
+                Value::ids(IdList::new(vec![u32::MAX; *lookups], vec![*lookups as u32]))
+            }
+        })
+        .collect()
+}
+
+fn exercise(cfg: ServeConfig) {
+    let runtime = ServeRuntime::start(cfg).unwrap();
+    let handle = runtime.handle();
+
+    // The poisoned request is admitted (shapes are fine) but the worker
+    // sheds it with a typed error instead of panicking.
+    let bad = poisoned_inputs(runtime.spec());
+    let err = handle.submit(bad).unwrap().wait().unwrap_err();
+    match err {
+        ServeError::WorkerFailed { reason } => {
+            assert!(
+                reason.contains("out of range"),
+                "expected an out-of-range rejection, got: {reason}"
+            );
+        }
+        other => panic!("expected WorkerFailed, got {other:?}"),
+    }
+
+    // Every worker is still alive: a burst of valid requests larger than
+    // the worker count all complete.
+    let mut gen = QueryGen::uniform(3);
+    let pending: Vec<_> = (0..8)
+        .map(|_| handle.submit(gen.batch(runtime.spec(), 1)).unwrap())
+        .collect();
+    for p in pending {
+        let response = p.wait().expect("workers survived the malformed request");
+        assert_eq!(response.outputs.len(), 1);
+    }
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 8);
+}
+
+#[test]
+fn out_of_range_ids_shed_without_killing_workers() {
+    exercise(ServeConfig::tiny(ModelId::Rm1));
+}
+
+#[test]
+fn out_of_range_ids_shed_on_store_backed_runtime_too() {
+    let mut cfg = ServeConfig::tiny(ModelId::Rm1);
+    cfg.store = Some(StoreConfig {
+        cache_capacity_rows: 128,
+        ..StoreConfig::default()
+    });
+    exercise(cfg);
+}

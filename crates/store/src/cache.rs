@@ -1,0 +1,275 @@
+//! Capacity-bounded hot-row cache in front of the cold shards.
+//!
+//! Decoded rows are cached keyed by `(table, row)`. Because decoding is
+//! deterministic, a cache hit returns exactly the bytes a cold decode
+//! would have produced — the cache can never change a model's output,
+//! only skip decode work for the hot head of a skewed (Zipf) access
+//! distribution.
+//!
+//! The map is split into shards, each behind its own mutex, so concurrent
+//! serving workers rarely contend. Recency/frequency bookkeeping uses a
+//! single global atomic logical clock; eviction scans the victim's shard,
+//! which is cheap because per-shard populations are small
+//! (`capacity / shards`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Which victim the cache evicts when a shard is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CachePolicy {
+    /// Evict the least-recently-used row (smallest access stamp).
+    Lru,
+    /// Evict the least-frequently-used row, ties broken by recency.
+    Lfu,
+}
+
+impl CachePolicy {
+    /// Short lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CachePolicy::Lru => "lru",
+            CachePolicy::Lfu => "lfu",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    row: Box<[f32]>,
+    /// Logical time of the last access (from the global clock).
+    stamp: u64,
+    /// Access count since insertion.
+    uses: u64,
+}
+
+/// A sharded, capacity-bounded cache of decoded hot rows.
+#[derive(Debug)]
+pub struct HotRowCache {
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    per_shard_capacity: usize,
+    policy: CachePolicy,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    resident: AtomicU64,
+}
+
+impl HotRowCache {
+    /// A cache holding at most `capacity_rows` rows across `shard_count`
+    /// shards. `capacity_rows == 0` disables the cache entirely
+    /// ([`HotRowCache::enabled`] returns false and lookups bypass it).
+    pub fn new(capacity_rows: usize, shard_count: usize, policy: CachePolicy) -> HotRowCache {
+        let shard_count = shard_count.max(1).min(capacity_rows.max(1));
+        let per_shard_capacity = capacity_rows.div_ceil(shard_count);
+        HotRowCache {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_shard_capacity,
+            policy,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this cache stores anything at all.
+    pub fn enabled(&self) -> bool {
+        self.per_shard_capacity > 0
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
+        // Fibonacci-hash the key so sequential row ids spread across
+        // shards instead of clustering.
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(mixed as usize) % self.shards.len()]
+    }
+
+    /// Runs `f` on the cached row for `key` if present (bumping its
+    /// recency/frequency and counting a hit); counts a miss and returns
+    /// `None` otherwise.
+    pub fn with_row<R>(&self, key: u64, f: impl FnOnce(&[f32]) -> R) -> Option<R> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.get_mut(&key) {
+            Some(entry) => {
+                entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                entry.uses += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(f(&entry.row))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly decoded row, evicting one victim if the shard is
+    /// at capacity. A concurrent insert of the same key wins silently.
+    pub fn insert(&self, key: u64, row: Box<[f32]>) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.contains_key(&key) {
+            return; // raced with another worker decoding the same row
+        }
+        if shard.len() >= self.per_shard_capacity {
+            let victim = shard
+                .iter()
+                .min_by_key(|(_, e)| match self.policy {
+                    CachePolicy::Lru => (e.stamp, 0),
+                    CachePolicy::Lfu => (e.uses, e.stamp),
+                })
+                .map(|(&k, _)| k);
+            if let Some(victim) = victim {
+                shard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.resident.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        shard.insert(
+            key,
+            Entry {
+                row,
+                stamp,
+                uses: 1,
+            },
+        );
+        self.resident.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops `key` if cached (used when a row is rewritten in the store).
+    pub fn invalidate(&self, key: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.remove(&key).is_some() {
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Rows currently resident.
+    pub fn resident_rows(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Configured capacity in rows (0 when disabled).
+    pub fn capacity_rows(&self) -> usize {
+        if self.shards.len() == 1 && self.per_shard_capacity == 0 {
+            0
+        } else {
+            self.per_shard_capacity * self.shards.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f32) -> Box<[f32]> {
+        vec![v; 4].into_boxed_slice()
+    }
+
+    #[test]
+    fn disabled_cache_is_a_no_op() {
+        let cache = HotRowCache::new(0, 8, CachePolicy::Lru);
+        assert!(!cache.enabled());
+        cache.insert(1, row(1.0));
+        assert_eq!(cache.with_row(1, |_| ()), None);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.resident_rows(), 0);
+        assert_eq!(cache.capacity_rows(), 0);
+    }
+
+    #[test]
+    fn hit_miss_counters_track_accesses() {
+        let cache = HotRowCache::new(8, 1, CachePolicy::Lru);
+        assert_eq!(cache.with_row(5, |_| ()), None);
+        cache.insert(5, row(5.0));
+        assert_eq!(cache.with_row(5, |r| r[0]), Some(5.0));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.resident_rows(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = HotRowCache::new(2, 1, CachePolicy::Lru);
+        cache.insert(1, row(1.0));
+        cache.insert(2, row(2.0));
+        // Touch 1 so 2 is the LRU victim.
+        assert!(cache.with_row(1, |_| ()).is_some());
+        cache.insert(3, row(3.0));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.with_row(2, |_| ()).is_none(), "2 should be evicted");
+        assert!(cache.with_row(1, |_| ()).is_some());
+        assert!(cache.with_row(3, |_| ()).is_some());
+        assert_eq!(cache.resident_rows(), 2);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequently_used() {
+        let cache = HotRowCache::new(2, 1, CachePolicy::Lfu);
+        cache.insert(1, row(1.0));
+        cache.insert(2, row(2.0));
+        // 1 gets 3 uses total, 2 stays at its insertion count.
+        assert!(cache.with_row(1, |_| ()).is_some());
+        assert!(cache.with_row(1, |_| ()).is_some());
+        cache.insert(3, row(3.0));
+        assert!(cache.with_row(2, |_| ()).is_none(), "2 should be evicted");
+        assert!(cache.with_row(1, |_| ()).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let cache = HotRowCache::new(4, 2, CachePolicy::Lru);
+        cache.insert(7, row(7.0));
+        assert!(cache.with_row(7, |_| ()).is_some());
+        cache.invalidate(7);
+        assert!(cache.with_row(7, |_| ()).is_none());
+        assert_eq!(cache.resident_rows(), 0);
+    }
+
+    #[test]
+    fn capacity_is_bounded_across_shards() {
+        let cache = HotRowCache::new(16, 4, CachePolicy::Lru);
+        for k in 0..200u64 {
+            cache.insert(k, row(k as f32));
+        }
+        assert!(
+            cache.resident_rows() <= cache.capacity_rows() as u64,
+            "resident {} > capacity {}",
+            cache.resident_rows(),
+            cache.capacity_rows()
+        );
+        assert!(cache.evictions() > 0);
+    }
+}

@@ -1,0 +1,655 @@
+//! The embedding parameter store: handle-based table registry, row-range
+//! shards with per-shard interior locks, and the hot-row cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::cache::{CachePolicy, HotRowCache};
+use crate::encoding::{RowData, RowEncoding};
+
+/// Configuration for an [`EmbeddingStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// How rows are stored resident.
+    pub encoding: RowEncoding,
+    /// Row-range shards per table (each behind its own lock).
+    pub shards_per_table: usize,
+    /// Hot-row cache capacity in rows (0 disables the cache).
+    pub cache_capacity_rows: usize,
+    /// Eviction policy for the hot-row cache.
+    pub cache_policy: CachePolicy,
+    /// Lock shards inside the hot-row cache.
+    pub cache_shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            encoding: RowEncoding::F32,
+            shards_per_table: 8,
+            cache_capacity_rows: 0,
+            cache_policy: CachePolicy::Lru,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// Errors from store registration and row access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A table must have at least one row and one column.
+    EmptyTable {
+        /// Requested row count.
+        rows: usize,
+        /// Requested row width.
+        dim: usize,
+    },
+    /// The initial data slice doesn't match `rows * dim`.
+    DataSizeMismatch {
+        /// `rows * dim`.
+        expected: usize,
+        /// `data.len()` as provided.
+        actual: usize,
+    },
+    /// A `(namespace, ordinal)` pair was re-registered with a different
+    /// shape than the existing table.
+    ShapeMismatch {
+        /// Registration namespace.
+        namespace: u64,
+        /// Table ordinal within the namespace.
+        ordinal: u32,
+        /// Shape already registered, as `(rows, dim)`.
+        existing: (usize, usize),
+        /// Shape requested now, as `(rows, dim)`.
+        requested: (usize, usize),
+    },
+    /// A row index past the end of the table.
+    RowOutOfRange {
+        /// Offending row index.
+        row: u32,
+        /// Table row count.
+        rows: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::EmptyTable { rows, dim } => {
+                write!(f, "table shape {rows}x{dim} has a zero dimension")
+            }
+            StoreError::DataSizeMismatch { expected, actual } => {
+                write!(f, "table data has {actual} elements, expected {expected}")
+            }
+            StoreError::ShapeMismatch {
+                namespace,
+                ordinal,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "table ({namespace:#x}, {ordinal}) already registered as \
+                 {}x{}, requested {}x{}",
+                existing.0, existing.1, requested.0, requested.1
+            ),
+            StoreError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for table of {rows} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Opaque handle to a registered table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableHandle(pub(crate) usize);
+
+/// One table: row-range shards, each independently lockable so a row
+/// update never stalls readers of other shards.
+#[derive(Debug)]
+struct StoredTable {
+    rows: usize,
+    dim: usize,
+    rows_per_shard: usize,
+    shards: Vec<RwLock<RowData>>,
+}
+
+impl StoredTable {
+    fn new(
+        encoding: RowEncoding,
+        rows: usize,
+        dim: usize,
+        data: &[f32],
+        shard_count: usize,
+    ) -> Self {
+        let shard_count = shard_count.max(1).min(rows);
+        let rows_per_shard = rows.div_ceil(shard_count);
+        // div_ceil can leave trailing shards empty; drop them.
+        let shard_count = rows.div_ceil(rows_per_shard);
+        let shards = (0..shard_count)
+            .map(|s| {
+                let start = s * rows_per_shard;
+                let end = ((s + 1) * rows_per_shard).min(rows);
+                RwLock::new(RowData::encode(
+                    encoding,
+                    &data[start * dim..end * dim],
+                    dim,
+                ))
+            })
+            .collect();
+        StoredTable {
+            rows,
+            dim,
+            rows_per_shard,
+            shards,
+        }
+    }
+
+    /// (shard index, row offset within shard) for a validated row.
+    fn locate(&self, row: u32) -> (usize, usize) {
+        let row = row as usize;
+        (row / self.rows_per_shard, row % self.rows_per_shard)
+    }
+
+    fn sum_into(&self, row: u32, acc: &mut [f32]) {
+        let (s, r) = self.locate(row);
+        self.shards[s]
+            .read()
+            .expect("table shard poisoned")
+            .sum_into(r, self.dim, acc);
+    }
+
+    fn read_into(&self, row: u32, dst: &mut [f32]) {
+        let (s, r) = self.locate(row);
+        self.shards[s]
+            .read()
+            .expect("table shard poisoned")
+            .decode_into(r, self.dim, dst);
+    }
+
+    fn write_row(&self, row: u32, values: &[f32]) {
+        let (s, r) = self.locate(row);
+        self.shards[s]
+            .write()
+            .expect("table shard poisoned")
+            .write_row(r, self.dim, values);
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("table shard poisoned").resident_bytes())
+            .sum()
+    }
+}
+
+/// The embedding parameter store. One instance is shared by every serving
+/// worker; tables are registered once per `(namespace, ordinal)` and
+/// deduplicated across workers, so N replicas of a model hold one copy of
+/// the embedding parameters instead of N.
+#[derive(Debug)]
+pub struct EmbeddingStore {
+    cfg: StoreConfig,
+    tables: RwLock<Vec<Arc<StoredTable>>>,
+    index: Mutex<HashMap<(u64, u32), usize>>,
+    cache: HotRowCache,
+    lookups: AtomicU64,
+}
+
+impl EmbeddingStore {
+    /// An empty store with the given configuration.
+    pub fn new(cfg: StoreConfig) -> EmbeddingStore {
+        let cache = HotRowCache::new(cfg.cache_capacity_rows, cfg.cache_shards, cfg.cache_policy);
+        EmbeddingStore {
+            cfg,
+            tables: RwLock::new(Vec::new()),
+            index: Mutex::new(HashMap::new()),
+            cache,
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this store was built with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Registers a `rows × dim` table under `(namespace, ordinal)`,
+    /// encoding `data` into the store's row encoding. If the pair is
+    /// already registered with the same shape the existing table's handle
+    /// is returned and `data` is ignored — this is the dedup path that
+    /// lets N identically seeded worker models share one parameter copy.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::EmptyTable`], [`StoreError::DataSizeMismatch`], or
+    /// [`StoreError::ShapeMismatch`] on a dedup hit with a different
+    /// shape.
+    pub fn register(
+        &self,
+        namespace: u64,
+        ordinal: u32,
+        rows: usize,
+        dim: usize,
+        data: &[f32],
+    ) -> Result<TableHandle, StoreError> {
+        if rows == 0 || dim == 0 {
+            return Err(StoreError::EmptyTable { rows, dim });
+        }
+        if data.len() != rows * dim {
+            return Err(StoreError::DataSizeMismatch {
+                expected: rows * dim,
+                actual: data.len(),
+            });
+        }
+        // Hold the index lock across check-and-insert so two workers
+        // registering the same table race to one winner.
+        let mut index = self.index.lock().expect("store index poisoned");
+        if let Some(&slot) = index.get(&(namespace, ordinal)) {
+            let tables = self.tables.read().expect("store tables poisoned");
+            let existing = &tables[slot];
+            if existing.rows != rows || existing.dim != dim {
+                return Err(StoreError::ShapeMismatch {
+                    namespace,
+                    ordinal,
+                    existing: (existing.rows, existing.dim),
+                    requested: (rows, dim),
+                });
+            }
+            return Ok(TableHandle(slot));
+        }
+        let table = Arc::new(StoredTable::new(
+            self.cfg.encoding,
+            rows,
+            dim,
+            data,
+            self.cfg.shards_per_table,
+        ));
+        let mut tables = self.tables.write().expect("store tables poisoned");
+        let slot = tables.len();
+        tables.push(table);
+        index.insert((namespace, ordinal), slot);
+        Ok(TableHandle(slot))
+    }
+
+    /// A cheap, cloneable accessor pinning `handle`'s table so lookups
+    /// skip the registry lock entirely.
+    pub fn pin(self: &Arc<Self>, handle: TableHandle) -> PinnedTable {
+        let table = Arc::clone(&self.tables.read().expect("store tables poisoned")[handle.0]);
+        PinnedTable {
+            store: Arc::clone(self),
+            table,
+            handle,
+        }
+    }
+
+    /// Point-in-time counters and gauges.
+    pub fn stats(&self) -> StoreStats {
+        let tables = self.tables.read().expect("store tables poisoned");
+        let mut rows = 0u64;
+        let mut resident_bytes = 0u64;
+        let mut f32_bytes = 0u64;
+        for t in tables.iter() {
+            rows += t.rows as u64;
+            resident_bytes += t.resident_bytes();
+            f32_bytes += (t.rows * t.dim * 4) as u64;
+        }
+        StoreStats {
+            tables: tables.len(),
+            rows,
+            resident_bytes,
+            f32_bytes,
+            lookups: self.lookups.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            cache_resident_rows: self.cache.resident_rows(),
+            cache_capacity_rows: self.cache.capacity_rows() as u64,
+        }
+    }
+}
+
+/// A pinned reference to one table in a store — the hot-path lookup API.
+#[derive(Debug, Clone)]
+pub struct PinnedTable {
+    store: Arc<EmbeddingStore>,
+    table: Arc<StoredTable>,
+    handle: TableHandle,
+}
+
+impl PinnedTable {
+    /// Row count of the pinned table.
+    pub fn rows(&self) -> usize {
+        self.table.rows
+    }
+
+    /// Row width of the pinned table.
+    pub fn dim(&self) -> usize {
+        self.table.dim
+    }
+
+    /// The handle this pin was created from.
+    pub fn handle(&self) -> TableHandle {
+        self.handle
+    }
+
+    /// The store this table lives in.
+    pub fn store(&self) -> &Arc<EmbeddingStore> {
+        &self.store
+    }
+
+    /// Cache key for a row of this table.
+    fn key(&self, row: u32) -> u64 {
+        ((self.handle.0 as u64) << 32) | u64::from(row)
+    }
+
+    /// Adds row `row` element-wise into `acc` (`acc[i] += row[i]`, left
+    /// to right — the identical reduction a dense-tensor lookup performs,
+    /// so the `F32` encoding is bit-identical to the direct path whether
+    /// the row comes from the cache or a cold shard).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `row < rows` and `acc.len() == dim`; callers
+    /// validate indices before reaching the hot path.
+    pub fn sum_row(&self, row: u32, acc: &mut [f32]) {
+        debug_assert!((row as usize) < self.table.rows);
+        debug_assert_eq!(acc.len(), self.table.dim);
+        self.store.lookups.fetch_add(1, Ordering::Relaxed);
+        let cache = &self.store.cache;
+        if !cache.enabled() {
+            self.table.sum_into(row, acc);
+            return;
+        }
+        let key = self.key(row);
+        let hit = cache.with_row(key, |cached| {
+            for (a, &v) in acc.iter_mut().zip(cached) {
+                *a += v;
+            }
+        });
+        if hit.is_none() {
+            let mut decoded = vec![0.0f32; self.table.dim].into_boxed_slice();
+            self.table.read_into(row, &mut decoded);
+            for (a, &v) in acc.iter_mut().zip(decoded.iter()) {
+                *a += v;
+            }
+            cache.insert(key, decoded);
+        }
+    }
+
+    /// Copies row `row` into `dst` (length `dim`).
+    pub fn read_row(&self, row: u32, dst: &mut [f32]) {
+        debug_assert!((row as usize) < self.table.rows);
+        debug_assert_eq!(dst.len(), self.table.dim);
+        self.store.lookups.fetch_add(1, Ordering::Relaxed);
+        let cache = &self.store.cache;
+        if !cache.enabled() {
+            self.table.read_into(row, dst);
+            return;
+        }
+        let key = self.key(row);
+        let hit = cache.with_row(key, |cached| dst.copy_from_slice(cached));
+        if hit.is_none() {
+            self.table.read_into(row, dst);
+            cache.insert(key, dst.to_vec().into_boxed_slice());
+        }
+    }
+
+    /// Re-encodes one row from `values` under the owning shard's write
+    /// lock and invalidates any cached copy, so subsequent lookups see
+    /// the new value.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RowOutOfRange`] or [`StoreError::DataSizeMismatch`].
+    pub fn update_row(&self, row: u32, values: &[f32]) -> Result<(), StoreError> {
+        if (row as usize) >= self.table.rows {
+            return Err(StoreError::RowOutOfRange {
+                row,
+                rows: self.table.rows,
+            });
+        }
+        if values.len() != self.table.dim {
+            return Err(StoreError::DataSizeMismatch {
+                expected: self.table.dim,
+                actual: values.len(),
+            });
+        }
+        self.table.write_row(row, values);
+        self.store.cache.invalidate(self.key(row));
+        Ok(())
+    }
+}
+
+/// Counters and gauges snapshot for an [`EmbeddingStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Registered tables.
+    pub tables: usize,
+    /// Total rows across all tables.
+    pub rows: u64,
+    /// Bytes resident in the configured encoding.
+    pub resident_bytes: u64,
+    /// Bytes the same tables would occupy in plain f32.
+    pub f32_bytes: u64,
+    /// Row lookups served (sum + copy).
+    pub lookups: u64,
+    /// Hot-row cache hits.
+    pub cache_hits: u64,
+    /// Hot-row cache misses.
+    pub cache_misses: u64,
+    /// Hot-row cache evictions.
+    pub cache_evictions: u64,
+    /// Rows currently resident in the hot-row cache.
+    pub cache_resident_rows: u64,
+    /// Configured hot-row cache capacity.
+    pub cache_capacity_rows: u64,
+}
+
+impl StoreStats {
+    /// Counter deltas since `base` (gauges — table/row/byte totals and
+    /// cache occupancy — keep their current values).
+    pub fn since(&self, base: &StoreStats) -> StoreStats {
+        StoreStats {
+            lookups: self.lookups.saturating_sub(base.lookups),
+            cache_hits: self.cache_hits.saturating_sub(base.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(base.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(base.cache_evictions),
+            ..self.clone()
+        }
+    }
+
+    /// Cache hit rate over the accesses in this snapshot (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Bytes saved versus plain f32 storage.
+    pub fn bytes_saved(&self) -> u64 {
+        self.f32_bytes.saturating_sub(self.resident_bytes)
+    }
+
+    /// f32 bytes over resident bytes (1.0 for an empty store).
+    pub fn compression(&self) -> f64 {
+        if self.resident_bytes == 0 {
+            1.0
+        } else {
+            self.f32_bytes as f64 / self.resident_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(rows: usize, dim: usize) -> Vec<f32> {
+        (0..rows * dim).map(|i| (i as f32) * 0.01 - 3.0).collect()
+    }
+
+    fn store(cfg: StoreConfig) -> Arc<EmbeddingStore> {
+        Arc::new(EmbeddingStore::new(cfg))
+    }
+
+    #[test]
+    fn register_validates_shape_and_data() {
+        let s = store(StoreConfig::default());
+        assert_eq!(
+            s.register(1, 0, 0, 4, &[]),
+            Err(StoreError::EmptyTable { rows: 0, dim: 4 })
+        );
+        assert_eq!(
+            s.register(1, 0, 2, 4, &[0.0; 7]),
+            Err(StoreError::DataSizeMismatch {
+                expected: 8,
+                actual: 7
+            })
+        );
+    }
+
+    #[test]
+    fn register_dedupes_by_namespace_and_ordinal() {
+        let s = store(StoreConfig::default());
+        let data = filled(10, 4);
+        let h1 = s.register(42, 0, 10, 4, &data).unwrap();
+        let h2 = s.register(42, 0, 10, 4, &data).unwrap();
+        assert_eq!(h1, h2);
+        assert_eq!(s.stats().tables, 1);
+        // Different ordinal or namespace gets a fresh table.
+        let h3 = s.register(42, 1, 10, 4, &data).unwrap();
+        let h4 = s.register(43, 0, 10, 4, &data).unwrap();
+        assert_ne!(h1, h3);
+        assert_ne!(h1, h4);
+        assert_eq!(s.stats().tables, 3);
+        // Dedup hit with a different shape is an error.
+        assert!(matches!(
+            s.register(42, 0, 10, 8, &filled(10, 8)),
+            Err(StoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn f32_sum_row_is_bit_identical_to_manual_add() {
+        let s = store(StoreConfig {
+            cache_capacity_rows: 16,
+            cache_shards: 1,
+            ..StoreConfig::default()
+        });
+        let data = filled(100, 8);
+        let h = s.register(1, 0, 100, 8, &data).unwrap();
+        let pin = s.pin(h);
+        for pass in 0..2 {
+            // Pass 0 populates the cache, pass 1 hits it — both must be
+            // bit-identical to the direct add.
+            for row in [0u32, 37, 99] {
+                let mut acc = vec![0.125f32; 8];
+                let mut expect = acc.clone();
+                pin.sum_row(row, &mut acc);
+                for (a, &v) in expect
+                    .iter_mut()
+                    .zip(&data[row as usize * 8..(row as usize + 1) * 8])
+                {
+                    *a += v;
+                }
+                assert_eq!(acc, expect, "pass {pass} row {row}");
+            }
+        }
+        assert!(s.stats().cache_hits >= 3);
+    }
+
+    #[test]
+    fn rows_span_shards_correctly() {
+        // 100 rows over 8 shards → 13 rows/shard; exercise boundaries.
+        let s = store(StoreConfig::default());
+        let data = filled(100, 4);
+        let h = s.register(1, 0, 100, 4, &data).unwrap();
+        let pin = s.pin(h);
+        let mut out = vec![0.0f32; 4];
+        for row in [0u32, 12, 13, 25, 26, 64, 65, 99] {
+            pin.read_row(row, &mut out);
+            assert_eq!(out, &data[row as usize * 4..(row as usize + 1) * 4]);
+        }
+    }
+
+    #[test]
+    fn int8_store_compresses_and_stays_within_bound() {
+        let s = store(StoreConfig {
+            encoding: RowEncoding::Int8,
+            ..StoreConfig::default()
+        });
+        let dim = 32;
+        let data = filled(64, dim);
+        let h = s.register(1, 0, 64, dim, &data).unwrap();
+        let stats = s.stats();
+        assert!(
+            stats.compression() >= 3.0,
+            "compression {} < 3.0",
+            stats.compression()
+        );
+        assert_eq!(stats.bytes_saved(), stats.f32_bytes - stats.resident_bytes);
+        let pin = s.pin(h);
+        let mut out = vec![0.0f32; dim];
+        for row in 0..64u32 {
+            let src = &data[row as usize * dim..(row as usize + 1) * dim];
+            let bound = RowEncoding::Int8.error_bound(src);
+            pin.read_row(row, &mut out);
+            for (o, x) in out.iter().zip(src) {
+                assert!((o - x).abs() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn update_row_is_visible_and_invalidates_cache() {
+        let s = store(StoreConfig {
+            cache_capacity_rows: 8,
+            ..StoreConfig::default()
+        });
+        let h = s.register(1, 0, 10, 4, &filled(10, 4)).unwrap();
+        let pin = s.pin(h);
+        let mut out = vec![0.0f32; 4];
+        pin.read_row(3, &mut out); // populate cache
+        pin.update_row(3, &[9.0, 8.0, 7.0, 6.0]).unwrap();
+        pin.read_row(3, &mut out);
+        assert_eq!(out, [9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(
+            pin.update_row(10, &[0.0; 4]),
+            Err(StoreError::RowOutOfRange { row: 10, rows: 10 })
+        );
+        assert_eq!(
+            pin.update_row(3, &[0.0; 3]),
+            Err(StoreError::DataSizeMismatch {
+                expected: 4,
+                actual: 3
+            })
+        );
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters_keeps_gauges() {
+        let s = store(StoreConfig {
+            cache_capacity_rows: 4,
+            ..StoreConfig::default()
+        });
+        let h = s.register(1, 0, 10, 4, &filled(10, 4)).unwrap();
+        let pin = s.pin(h);
+        let mut acc = vec![0.0f32; 4];
+        pin.sum_row(1, &mut acc);
+        let base = s.stats();
+        pin.sum_row(1, &mut acc); // hit
+        pin.sum_row(2, &mut acc); // miss
+        let delta = s.stats().since(&base);
+        assert_eq!(delta.lookups, 2);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(delta.cache_misses, 1);
+        assert_eq!(delta.rows, 10); // gauge: absolute, not delta
+        assert!((delta.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -101,4 +101,32 @@ mod tests {
         let mut rng = ParamInit::new(1);
         CategoricalDist::Uniform.sample(&mut rng, 0);
     }
+
+    #[test]
+    fn zipf_sampling_is_deterministic_per_seed_across_spaces() {
+        let dist = CategoricalDist::Zipf { s: 1.0 };
+        for space in [100usize, 10_000, 1_000_000] {
+            let draw = |seed: u64| -> Vec<u32> {
+                let mut rng = ParamInit::new(seed);
+                (0..256).map(|_| dist.sample(&mut rng, space)).collect()
+            };
+            assert_eq!(draw(42), draw(42), "space {space}: same seed must agree");
+            assert_ne!(draw(42), draw(43), "space {space}: seeds must differ");
+        }
+    }
+
+    #[test]
+    fn head_mass_monotone_at_extreme_exponents() {
+        // A 1% head over a 10k id space: mass must grow monotonically
+        // with the exponent, staying near-uniform at s = 0.1 and almost
+        // fully concentrated at s = 2.0.
+        let mass = |s: f64| head_mass(CategoricalDist::Zipf { s }, 10_000, 20_000, 100);
+        let (light, mid, heavy) = (mass(0.1), mass(1.0), mass(2.0));
+        assert!(light < mid && mid < heavy, "{light} < {mid} < {heavy}");
+        assert!(
+            light < 0.05,
+            "s=0.1 head mass {light} should be near-uniform"
+        );
+        assert!(heavy > 0.9, "s=2.0 head mass {heavy} should dominate");
+    }
 }

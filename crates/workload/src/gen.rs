@@ -20,6 +20,14 @@ impl QueryGen {
         }
     }
 
+    /// Generator with Zipf(`s`) categorical sampling — skewed traffic
+    /// where small ids are hot, matching published production embedding
+    /// traces (`s ≈ 0.8–1.2`). This is what drives hot-row cache hits in
+    /// a store-backed serving runtime.
+    pub fn zipf(seed: u64, s: f64) -> Self {
+        Self::with_dist(seed, CategoricalDist::Zipf { s })
+    }
+
     /// Generator with the given categorical distribution.
     pub fn with_dist(seed: u64, dist: CategoricalDist) -> Self {
         QueryGen {

@@ -38,7 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let ids = b.input(format!("ids{t}"));
             id_inputs.push(ids);
             let table_ =
-                deeprec::ops::EmbeddingTable::new(1_000_000, 32, 4096, &mut ctx, &mut init);
+                deeprec::ops::EmbeddingTable::new(1_000_000, 32, 4096, &mut ctx, &mut init)
+                    .expect("table shape is valid");
             feats.push(b.sparse_lengths_sum(&mut ctx, &format!("emb{t}"), table_, ids)?);
         }
         feats.push(bottom);

@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         queue_capacity: 4_096,
         delay_budget: Duration::from_millis(50),
         curve: LatencyCurve::from_points(vec![(1, 1e-4), (1024, 1e-2)]),
+        store: None,
     })?;
 
     // Four concurrent producers, 100 queries each.

@@ -14,7 +14,9 @@
 //! * [`analysis`] — regression and report rendering,
 //! * [`core`] — the cross-stack characterization harness,
 //! * [`serve`] — a concurrent inference serving runtime (dynamic batching,
-//!   load shedding, live metrics).
+//!   load shedding, live metrics),
+//! * [`store`] — a sharded, quantized embedding parameter store with
+//!   hot-row caching.
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@ pub use drec_hwsim as hwsim;
 pub use drec_models as models;
 pub use drec_ops as ops;
 pub use drec_serve as serve;
+pub use drec_store as store;
 pub use drec_tensor as tensor;
 pub use drec_trace as trace;
 pub use drec_uarch as uarch;
