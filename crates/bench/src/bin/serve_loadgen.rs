@@ -208,11 +208,13 @@ fn main() {
         repeats,
         Some(store_cfg.clone()),
     );
-    let spec = model
-        .build(args.scale, seed)
-        .expect("model builds")
-        .spec()
-        .clone();
+    let (spec, plan_stats) = {
+        let mut m = model.build(args.scale, seed).expect("model builds");
+        // Same deterministic compile every worker engine performs at
+        // construction — reported so plan shape shows up in the logs.
+        let stats = m.compile_plan().clone();
+        (m.spec().clone(), stats)
+    };
 
     // Step 2: measure the per-request dispatch overhead (queue hop,
     // condvar wake-up, reply channel) with closed-loop probes through a
@@ -332,6 +334,17 @@ fn main() {
             m.pool_threads,
             m.pool_tasks,
             m.pool_utilization * 100.0
+        );
+        println!(
+            "  compiled plan: {} -> {} ops ({} FC chains, {} tables fused), \
+             {} waves (widest {}), compiled in {:.2}ms",
+            plan_stats.ops_before,
+            plan_stats.ops_after,
+            plan_stats.fused_fc,
+            plan_stats.fused_tables,
+            plan_stats.waves,
+            plan_stats.max_wave_width,
+            plan_stats.compile_seconds * 1e3
         );
         if let Some(s) = &m.store {
             println!(

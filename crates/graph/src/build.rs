@@ -58,7 +58,7 @@ impl GraphBuilder {
         self.n_values += 1;
         self.nodes.push(Node {
             name: name.into(),
-            op,
+            op: op.into(),
             inputs: inputs.to_vec(),
             output,
         });

@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use drec_ops::{OpKind, Operator};
 
 /// Identifier of a value (edge) in a [`Graph`].
@@ -16,10 +18,13 @@ impl ValueId {
 pub struct NodeId(pub(crate) usize);
 
 /// One operator node: a named operator with input and output edges.
+///
+/// Operators are held behind `Arc` so a compiled [`crate::ExecPlan`] can
+/// share them (fused plan ops wrap the constituent graph operators).
 #[derive(Debug)]
 pub struct Node {
     pub(crate) name: String,
-    pub(crate) op: Box<dyn Operator>,
+    pub(crate) op: Arc<dyn Operator>,
     pub(crate) inputs: Vec<ValueId>,
     pub(crate) output: ValueId,
 }

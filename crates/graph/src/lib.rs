@@ -5,6 +5,9 @@
 //!   DAG whose nodes own their operators (and parameters),
 //! * [`execute`] / [`execute_traced`] — reference execution with value
 //!   lifetime management, optionally capturing a [`drec_trace::RunTrace`],
+//! * [`ExecPlan`] — compiled execution plans: operator fusion, inter-op
+//!   wave scheduling, and precomputed value lifetimes, bit-identical to
+//!   the reference executor,
 //! * [`Breakdown`] — per-operator-type time shares (paper Fig 6),
 //! * [`Framework`] / [`dialect_entries`] — Caffe2 ↔ TensorFlow operator
 //!   naming so the Fig 7 comparison can be regenerated,
@@ -44,6 +47,7 @@ pub mod dot;
 mod error;
 mod exec;
 mod graph;
+mod plan;
 
 pub use breakdown::Breakdown;
 pub use build::GraphBuilder;
@@ -51,6 +55,7 @@ pub use dialect::{dialect_entries, Framework};
 pub use error::GraphError;
 pub use exec::{execute, execute_traced};
 pub use graph::{Graph, Node, NodeId, ValueId};
+pub use plan::{ExecPlan, PlanOptions, PlanScratch, PlanStats};
 
 /// Convenience result alias for graph operations.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -192,6 +192,8 @@ impl BuildCtx {
                 emb_param_bytes: self.emb_bytes,
                 ..meta
             },
+            plan: None,
+            scratch: drec_graph::PlanScratch::new(),
         }
     }
 

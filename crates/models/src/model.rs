@@ -1,4 +1,6 @@
-use drec_graph::{execute, execute_traced, Graph, GraphError};
+use drec_graph::{
+    execute, execute_traced, ExecPlan, Graph, GraphError, PlanOptions, PlanScratch, PlanStats,
+};
 use drec_ops::{ExecContext, Value};
 use drec_trace::RunTrace;
 
@@ -132,6 +134,8 @@ pub struct RecModel {
     pub(crate) ctx: ExecContext,
     pub(crate) spec: InputSpec,
     pub(crate) meta: ModelMeta,
+    pub(crate) plan: Option<ExecPlan>,
+    pub(crate) scratch: PlanScratch,
 }
 
 impl RecModel {
@@ -160,7 +164,28 @@ impl RecModel {
         self.ctx.set_trace_target(target_events_per_op);
     }
 
-    /// Runs one inference without tracing.
+    /// Compiles an execution plan with default options (fusion + wave
+    /// scheduling) and caches it; subsequent [`RecModel::run`] /
+    /// [`RecModel::run_traced`] calls use the plan. Returns the compile
+    /// stats. Recompiling replaces the cached plan.
+    pub fn compile_plan(&mut self) -> &PlanStats {
+        self.compile_plan_with(PlanOptions::default())
+    }
+
+    /// Like [`RecModel::compile_plan`] with explicit pass selection.
+    pub fn compile_plan_with(&mut self, opts: PlanOptions) -> &PlanStats {
+        self.plan = Some(ExecPlan::compile(&self.graph, opts));
+        self.plan_stats().expect("plan was just compiled")
+    }
+
+    /// Stats of the cached plan, if one was compiled.
+    pub fn plan_stats(&self) -> Option<&PlanStats> {
+        self.plan.as_ref().map(ExecPlan::stats)
+    }
+
+    /// Runs one inference without tracing, through the compiled plan when
+    /// one is cached (bit-identical to the reference executor) or the
+    /// reference executor otherwise.
     ///
     /// # Errors
     ///
@@ -168,11 +193,28 @@ impl RecModel {
     /// [`RecModel::spec`]).
     pub fn run(&mut self, inputs: Vec<Value>) -> Result<Vec<Value>, GraphError> {
         self.ctx.set_tracing(false);
+        match &self.plan {
+            Some(plan) => plan.execute(&mut self.ctx, &mut self.scratch, inputs),
+            None => execute(&self.graph, &mut self.ctx, inputs),
+        }
+    }
+
+    /// Runs one inference through the sequential reference executor,
+    /// ignoring any compiled plan — the bit-identity oracle for plan
+    /// verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-execution errors.
+    pub fn run_reference(&mut self, inputs: Vec<Value>) -> Result<Vec<Value>, GraphError> {
+        self.ctx.set_tracing(false);
         execute(&self.graph, &mut self.ctx, inputs)
     }
 
     /// Runs one inference with tracing, returning outputs and the captured
-    /// [`RunTrace`]. `target_events_per_op` bounds trace memory.
+    /// [`RunTrace`]. Uses the compiled plan when cached: fused operators
+    /// delegate to their constituent kernels under tracing, so the trace
+    /// matches the unfused graph record for record.
     ///
     /// # Errors
     ///
@@ -183,7 +225,10 @@ impl RecModel {
         batch: usize,
     ) -> Result<(Vec<Value>, RunTrace), GraphError> {
         self.ctx.set_tracing(true);
-        let result = execute_traced(&self.graph, &mut self.ctx, inputs, batch);
+        let result = match &self.plan {
+            Some(plan) => plan.execute_traced(&mut self.ctx, &mut self.scratch, inputs, batch),
+            None => execute_traced(&self.graph, &mut self.ctx, inputs, batch),
+        };
         self.ctx.set_tracing(false);
         result
     }

@@ -65,7 +65,7 @@ impl ActivationKind {
         }
     }
 
-    fn apply(self, x: f32) -> f32 {
+    pub(crate) fn apply(self, x: f32) -> f32 {
         match self {
             ActivationKind::Relu => x.max(0.0),
             ActivationKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
@@ -102,11 +102,20 @@ impl Activation {
             kernel: ctx.kernel_region(op_kind),
         }
     }
+
+    /// The non-linearity this op applies (fused-op access).
+    pub(crate) fn activation_kind(&self) -> ActivationKind {
+        self.kind
+    }
 }
 
 impl Operator for Activation {
     fn kind(&self) -> OpKind {
         self.kind.op_kind()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn run(&self, ctx: &mut ExecContext, inputs: &[&Value]) -> Result<Value> {

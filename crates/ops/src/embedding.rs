@@ -32,7 +32,7 @@ pub(crate) fn sample_chunk_elems(batch: usize, dim: usize, threads: usize) -> us
 }
 
 /// Applies a segment's pooling epilogue (mean normalisation) in place.
-fn pool_segment(acc: &mut [f32], mode: PoolMode, len: u32) {
+pub(crate) fn pool_segment(acc: &mut [f32], mode: PoolMode, len: u32) {
     if mode == PoolMode::Mean && len > 0 {
         let inv = 1.0 / len as f32;
         for a in acc.iter_mut() {
@@ -42,7 +42,7 @@ fn pool_segment(acc: &mut [f32], mode: PoolMode, len: u32) {
 }
 
 /// Start offset of each sample's segment in the flat id list.
-fn segment_starts(lengths: &[u32]) -> Vec<usize> {
+pub(crate) fn segment_starts(lengths: &[u32]) -> Vec<usize> {
     let mut starts = Vec::with_capacity(lengths.len());
     let mut pos = 0usize;
     for &len in lengths {
@@ -204,7 +204,7 @@ impl EmbeddingTable {
     /// Adds row `id`'s contents into `acc` (`acc[i] += row[i]`, left to
     /// right). Both backings perform the identical f32 reduction, so the
     /// store's `f32` encoding matches the dense path bit for bit.
-    fn sum_row(&self, id: u32, acc: &mut [f32]) {
+    pub(crate) fn sum_row(&self, id: u32, acc: &mut [f32]) {
         let phys = (id as usize) % self.physical_rows;
         match &self.backing {
             Backing::Dense(data) => {
@@ -248,7 +248,11 @@ impl EmbeddingTable {
 /// Returns the first id in `ids` past `table`'s virtual row space as a
 /// typed error, so malformed requests shed instead of silently wrapping
 /// (or, in a serving worker, panicking).
-fn check_ids_in_range(op: &'static str, ids: &[u32], table: &EmbeddingTable) -> Result<()> {
+pub(crate) fn check_ids_in_range(
+    op: &'static str,
+    ids: &[u32],
+    table: &EmbeddingTable,
+) -> Result<()> {
     let space = table.virtual_rows();
     match ids.iter().find(|&&id| (id as usize) >= space) {
         Some(&id) => Err(OpError::IndexOutOfRange { op, id, space }),
@@ -378,6 +382,10 @@ impl Operator for SparseLengthsSum {
             PoolMode::Sum => OpKind::SparseLengthsSum,
             PoolMode::Mean => OpKind::SparseLengthsMean,
         }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn param_bytes(&self) -> u64 {

@@ -54,11 +54,25 @@ impl FullyConnected {
     pub fn out_features(&self) -> usize {
         self.weights.dims()[0]
     }
+
+    /// Weight matrix `[out_features, in_features]` (fused-op access).
+    pub(crate) fn weights_tensor(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Bias vector `[out_features]` (fused-op access).
+    pub(crate) fn bias_tensor(&self) -> &Tensor {
+        &self.bias
+    }
 }
 
 impl Operator for FullyConnected {
     fn kind(&self) -> OpKind {
         OpKind::Fc
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn param_bytes(&self) -> u64 {

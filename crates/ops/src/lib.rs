@@ -48,6 +48,7 @@ mod elementwise;
 mod embedding;
 mod error;
 mod fc;
+mod fused;
 mod gru;
 mod interaction;
 mod kind;
@@ -63,6 +64,7 @@ pub use elementwise::{Activation, ActivationKind, Mul, Sum};
 pub use embedding::{EmbeddingGather, EmbeddingTable, GatherMode, PoolMode, SparseLengthsSum};
 pub use error::OpError;
 pub use fc::FullyConnected;
+pub use fused::{FusedConcatInput, FusedFc, MultiTableSls};
 pub use gru::Gru;
 pub use interaction::PairwiseDot;
 pub use kind::OpKind;

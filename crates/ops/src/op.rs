@@ -16,6 +16,13 @@ pub trait Operator: std::fmt::Debug + Send + Sync {
     /// The framework-level operator kind.
     fn kind(&self) -> OpKind;
 
+    /// Concrete-type access for graph-level rewrite passes (the plan
+    /// compiler's fusion rules downcast through this). Operators that can
+    /// participate in fusion return `Some(self)`; the default opts out.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Performs the computation, emitting trace evidence into `ctx`.
     ///
     /// # Errors

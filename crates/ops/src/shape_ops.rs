@@ -32,6 +32,10 @@ impl Operator for Concat {
         OpKind::Concat
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn run(&self, ctx: &mut ExecContext, inputs: &[&Value]) -> Result<Value> {
         if inputs.len() < 2 {
             return Err(OpError::ArityMismatch {

@@ -54,12 +54,18 @@ impl Engine {
     /// Like [`Engine::with_pool`], additionally holding a reference to
     /// the shared [`EmbeddingStore`] the model was built against (if
     /// any), so callers can reach its stats from the engine.
+    ///
+    /// Construction compiles the model's execution plan (operator
+    /// fusion and wave scheduling) once; every batch then reuses the
+    /// plan and its scratch buffers instead of re-running liveness
+    /// analysis per request.
     pub fn with_store(
-        model: RecModel,
+        mut model: RecModel,
         curve: LatencyCurve,
         pool: Arc<ParPool>,
         store: Option<Arc<EmbeddingStore>>,
     ) -> Self {
+        model.compile_plan();
         Engine {
             model,
             curve,
@@ -87,6 +93,12 @@ impl Engine {
     /// The intra-op pool batches execute on.
     pub fn pool(&self) -> &Arc<ParPool> {
         &self.pool
+    }
+
+    /// Compile stats of the model's cached execution plan (always present
+    /// — construction compiles it).
+    pub fn plan_stats(&self) -> Option<&drec_graph::PlanStats> {
+        self.model.plan_stats()
     }
 
     /// Coalesces `requests` into one batch, runs it through the model,
