@@ -1,0 +1,410 @@
+//! Chaos harness and acceptance gates for the fault-tolerant serving
+//! stack: drives seeded Zipf traffic through a serve runtime while a
+//! deterministic fault plan panics workers on schedule, then checks that
+//! availability holds, nothing hangs, and the supervisor heals the pool.
+//! With faults disabled it also proves the hooks are free: all 8 models
+//! stay bit-identical to the uncompiled reference executor, and a
+//! disabled hook costs a single branch. Writes `BENCH_chaos.json`.
+//!
+//! Flags:
+//!
+//! * `--smoke` — small request counts, CI mode,
+//! * `--quick` — fewer requests than full, more than smoke.
+//!
+//! Gates (asserted in both modes):
+//!
+//! * every admitted request is *answered* (response or typed error) —
+//!   zero requests hang past the wait timeout,
+//! * ≥ 99% of admitted requests receive a successful response under the
+//!   crash schedule,
+//! * at least one worker panic fires and at least one supervisor restart
+//!   heals it,
+//! * all 8 models produce bit-identical outputs to
+//!   [`drec_models::RecModel::run_reference`] with faults disabled,
+//! * a disabled fault hook costs < 25 ns per call (it is one
+//!   branch-on-None; the bound is generous for CI noise).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use drec_models::{ModelId, ModelScale};
+use drec_serve::{
+    FaultHook, FaultPlan, ServeConfig, ServeError, ServeRuntime, StoreConfig, SupervisorConfig,
+};
+use drec_workload::QueryGen;
+
+/// Minimum fraction of admitted requests that must complete successfully
+/// under the crash schedule.
+const AVAILABILITY_GATE: f64 = 0.99;
+/// Upper bound on the per-call cost of a disabled fault hook, generous
+/// enough for noisy CI machines (a real regression is orders above it).
+const DISABLED_HOOK_GATE_NANOS: f64 = 25.0;
+/// A pending request unanswered after this long counts as hung.
+const HANG_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct Args {
+    smoke: bool,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        quick: false,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--quick" => args.quick = true,
+            other => eprintln!("warning: unknown argument '{other}' (supported: --smoke --quick)"),
+        }
+    }
+    args
+}
+
+struct IdentityRow {
+    model: ModelId,
+    bit_identical: bool,
+}
+
+/// With faults disabled, the serving path must be semantically inert:
+/// every model's compiled-plan execution matches the uncompiled
+/// reference executor bit for bit on the same inputs.
+fn check_identity(batch: usize) -> Vec<IdentityRow> {
+    ModelId::ALL
+        .into_iter()
+        .map(|id| {
+            let mut model = id.build(ModelScale::Tiny, 21).expect("model builds");
+            let inputs = QueryGen::zipf(0x1D5, 1.0).batch(model.spec(), batch);
+            let reference = model
+                .run_reference(inputs.clone())
+                .expect("reference executes");
+            model.compile_plan();
+            let got = model.run(inputs).expect("plan executes");
+            let bit_identical = reference.len() == got.len()
+                && reference.iter().zip(&got).all(|(a, b)| {
+                    let a = a.as_dense().expect("dense output").as_slice();
+                    let b = b.as_dense().expect("dense output").as_slice();
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                });
+            assert!(
+                bit_identical,
+                "{id}: compiled plan output differs from run_reference with faults disabled"
+            );
+            IdentityRow {
+                model: id,
+                bit_identical,
+            }
+        })
+        .collect()
+}
+
+/// Per-call cost of `FaultHook::on_batch` for a hook in the given state.
+fn time_hook_nanos(hook: &FaultHook, calls: u64) -> f64 {
+    let start = Instant::now();
+    let mut panics = 0u64;
+    for _ in 0..calls {
+        if !matches!(hook.on_batch(), drec_faultsim::BatchFault::None) {
+            panics += 1;
+        }
+    }
+    std::hint::black_box(panics);
+    start.elapsed().as_secs_f64() * 1e9 / calls as f64
+}
+
+#[derive(Default)]
+struct ChaosTally {
+    admitted: u64,
+    shed: u64,
+    ok: u64,
+    worker_failed: u64,
+    deadline_exceeded: u64,
+    other_errors: u64,
+    hung: u64,
+}
+
+/// Drives `requests` closed-loop Zipf queries per producer through a
+/// runtime under an injected crash schedule and tallies every outcome.
+fn run_chaos(
+    cfg: ServeConfig,
+    producers: usize,
+    requests_per_producer: usize,
+) -> (ChaosTally, drec_serve::MetricsSnapshot, f64) {
+    let runtime = ServeRuntime::start(cfg).expect("runtime starts");
+    let start = Instant::now();
+    let counters: Vec<Arc<AtomicU64>> = (0..7).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let threads: Vec<_> = (0..producers)
+        .map(|p| {
+            let handle = runtime.handle();
+            let counters: Vec<Arc<AtomicU64>> = counters.iter().map(Arc::clone).collect();
+            std::thread::spawn(move || {
+                let [admitted, shed, ok, worker_failed, deadline_exceeded, other, hung] =
+                    <[Arc<AtomicU64>; 7]>::try_from(counters).expect("seven counters");
+                let mut gen = QueryGen::zipf(0xC4A05 ^ p as u64, 1.0);
+                for _ in 0..requests_per_producer {
+                    let pending = match handle.submit(gen.batch(handle.spec(), 1)) {
+                        Ok(pending) => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            pending
+                        }
+                        Err(_) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    match pending.wait_timeout(HANG_TIMEOUT) {
+                        Some(Ok(_)) => ok.fetch_add(1, Ordering::Relaxed),
+                        Some(Err(ServeError::WorkerFailed { .. })) => {
+                            worker_failed.fetch_add(1, Ordering::Relaxed)
+                        }
+                        Some(Err(ServeError::DeadlineExceeded { .. })) => {
+                            deadline_exceeded.fetch_add(1, Ordering::Relaxed)
+                        }
+                        Some(Err(_)) => other.fetch_add(1, Ordering::Relaxed),
+                        None => hung.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("producer thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = runtime.shutdown();
+    let tally = ChaosTally {
+        admitted: counters[0].load(Ordering::Relaxed),
+        shed: counters[1].load(Ordering::Relaxed),
+        ok: counters[2].load(Ordering::Relaxed),
+        worker_failed: counters[3].load(Ordering::Relaxed),
+        deadline_exceeded: counters[4].load(Ordering::Relaxed),
+        other_errors: counters[5].load(Ordering::Relaxed),
+        hung: counters[6].load(Ordering::Relaxed),
+    };
+    (tally, stats, elapsed)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    smoke: bool,
+    identity: &[IdentityRow],
+    disabled_ns: f64,
+    quiet_ns: f64,
+    tally: &ChaosTally,
+    stats: &drec_serve::MetricsSnapshot,
+    elapsed: f64,
+    availability: f64,
+) {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    s.push_str("  \"reference_identity\": [\n");
+    for (i, r) in identity.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"bit_identical\": {}}}{}\n",
+            r.model,
+            r.bit_identical,
+            if i + 1 < identity.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"disabled_hook_ns_per_call\": {},\n  \"quiet_enabled_hook_ns_per_call\": {},\n",
+        json_f64(disabled_ns),
+        json_f64(quiet_ns)
+    ));
+    s.push_str("  \"chaos\": {\n");
+    s.push_str(&format!(
+        "    \"admitted\": {},\n    \"shed\": {},\n    \"ok\": {},\n    \"worker_failed\": {},\n    \"deadline_exceeded\": {},\n    \"other_errors\": {},\n    \"hung\": {},\n",
+        tally.admitted,
+        tally.shed,
+        tally.ok,
+        tally.worker_failed,
+        tally.deadline_exceeded,
+        tally.other_errors,
+        tally.hung
+    ));
+    s.push_str(&format!(
+        "    \"availability\": {},\n    \"worker_panics\": {},\n    \"worker_restarts\": {},\n    \"retried\": {},\n    \"crashes_per_second\": {},\n    \"elapsed_seconds\": {},\n",
+        json_f64(availability),
+        stats.worker_panics,
+        stats.worker_restarts,
+        stats.retried,
+        json_f64(stats.worker_panics as f64 / elapsed.max(1e-9)),
+        json_f64(elapsed)
+    ));
+    s.push_str(&format!(
+        "    \"entered_reduced_batch\": {},\n    \"entered_cache_only\": {},\n    \"cache_only_skips\": {}\n  }},\n",
+        stats.entered_reduced_batch,
+        stats.entered_cache_only,
+        stats.store.as_ref().map_or(0, |st| st.cache_only_skips)
+    ));
+    s.push_str("  \"checks\": {\n");
+    s.push_str(&format!(
+        "    \"availability_gate\": {AVAILABILITY_GATE},\n    \"all_answered\": {},\n    \"workers_restarted\": {},\n    \"reference_identity_all\": {},\n    \"disabled_hook_gate_ns\": {DISABLED_HOOK_GATE_NANOS}\n",
+        tally.hung == 0,
+        stats.worker_restarts > 0,
+        identity.iter().all(|r| r.bit_identical)
+    ));
+    s.push_str("  }\n}\n");
+    std::fs::write(path, s).expect("write BENCH_chaos.json");
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "chaos_bench: {} mode",
+        if args.smoke { "smoke" } else { "full" }
+    );
+
+    // Injected worker panics are the *point* of this harness; the
+    // default hook would print a backtrace for each one. Keep them to a
+    // single line and leave every other thread's panics verbose.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let is_worker = std::thread::current()
+            .name()
+            .is_some_and(|name| name.starts_with("drec-serve-worker"));
+        if is_worker {
+            println!("  [injected] {info}");
+        } else {
+            default_hook(info);
+        }
+    }));
+
+    // Part 1: with faults disabled, execution is bit-exact vs the
+    // reference executor for every model.
+    println!(
+        "Reference identity (faults disabled), all {} models:",
+        ModelId::ALL.len()
+    );
+    let identity = check_identity(if args.smoke { 4 } else { 16 });
+    for r in &identity {
+        println!(
+            "  {:<8} bit-identical: {}",
+            r.model.to_string(),
+            r.bit_identical
+        );
+    }
+
+    // Part 2: hook overhead. A disabled hook is a branch on None; a
+    // quiet enabled hook (a plan with no schedules) pays the atomic
+    // event counter. Neither may cost anything visible at batch rates.
+    let calls: u64 = if args.smoke { 2_000_000 } else { 20_000_000 };
+    let disabled_ns = time_hook_nanos(&FaultHook::disabled(), calls);
+    let quiet_ns = time_hook_nanos(&FaultHook::from_plan(&FaultPlan::quiet(3)), calls);
+    println!(
+        "Hook cost: disabled {disabled_ns:.2} ns/call, quiet-enabled {quiet_ns:.2} ns/call ({calls} calls)"
+    );
+
+    // Part 3: chaos. Seeded Zipf traffic against a store-backed runtime
+    // while the plan panics a worker roughly every `panic_period`
+    // batches and poisons an occasional cold store read; with tiny
+    // batches the resulting crash rate lands well above one per second.
+    let (producers, requests_per_producer) = match (args.smoke, args.quick) {
+        (true, _) => (4, 150),
+        (false, true) => (4, 500),
+        (false, false) => (8, 1_500),
+    };
+    let panic_period = if args.smoke { 40 } else { 100 };
+    let mut cfg = ServeConfig::tiny(ModelId::Rm1);
+    cfg.workers = 2;
+    cfg.max_batch = 8;
+    cfg.store = Some(StoreConfig {
+        cache_capacity_rows: 1024,
+        ..StoreConfig::default()
+    });
+    cfg.supervisor = SupervisorConfig {
+        // The chaos schedule kills workers continuously; the budget must
+        // outlast the run so the gate measures recovery, not exhaustion.
+        max_restarts: 100_000,
+        backoff: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(5),
+    };
+    cfg.faults = Some(FaultPlan {
+        panic_every_n_batches: Some(panic_period),
+        poison_every_n_reads: Some(200_000),
+        ..FaultPlan::quiet(0xC4A05)
+    });
+    let total = (producers * requests_per_producer) as u64;
+    println!(
+        "Driving {total} Zipf requests through {producers} producers, panic every {panic_period} batches..."
+    );
+    let (tally, stats, elapsed) = run_chaos(cfg, producers, requests_per_producer);
+    let answered = tally.ok + tally.worker_failed + tally.deadline_exceeded + tally.other_errors;
+    let availability = if tally.admitted == 0 {
+        0.0
+    } else {
+        tally.ok as f64 / tally.admitted as f64
+    };
+    println!(
+        "  admitted {} / shed {}; ok {}, worker-failed {}, hung {}",
+        tally.admitted, tally.shed, tally.ok, tally.worker_failed, tally.hung
+    );
+    println!(
+        "  availability {:.4}; {} panics, {} restarts, {:.1} crashes/s over {:.2}s",
+        availability,
+        stats.worker_panics,
+        stats.worker_restarts,
+        stats.worker_panics as f64 / elapsed.max(1e-9),
+        elapsed
+    );
+
+    write_json(
+        "BENCH_chaos.json",
+        args.smoke,
+        &identity,
+        disabled_ns,
+        quiet_ns,
+        &tally,
+        &stats,
+        elapsed,
+        availability,
+    );
+    println!("Wrote BENCH_chaos.json");
+
+    assert_eq!(
+        tally.hung, 0,
+        "requests hung past {HANG_TIMEOUT:?} under the crash schedule"
+    );
+    assert_eq!(
+        answered, tally.admitted,
+        "every admitted request must be answered"
+    );
+    println!(
+        "Gate: all {} admitted requests answered, none hung — ok",
+        tally.admitted
+    );
+    assert!(
+        availability >= AVAILABILITY_GATE,
+        "availability {availability:.4} below the {AVAILABILITY_GATE} gate"
+    );
+    println!("Gate: availability {availability:.4} >= {AVAILABILITY_GATE} — ok");
+    assert!(
+        stats.worker_panics > 0 && stats.worker_restarts > 0,
+        "crash schedule must fire and the supervisor must restart: {} panics, {} restarts",
+        stats.worker_panics,
+        stats.worker_restarts
+    );
+    println!(
+        "Gate: {} injected panics all healed by {} supervisor restarts — ok",
+        stats.worker_panics, stats.worker_restarts
+    );
+    assert!(
+        disabled_ns < DISABLED_HOOK_GATE_NANOS,
+        "disabled hook costs {disabled_ns:.2} ns/call, above the {DISABLED_HOOK_GATE_NANOS} ns gate"
+    );
+    println!("Gate: disabled hook {disabled_ns:.2} ns/call < {DISABLED_HOOK_GATE_NANOS} ns — ok");
+    println!("All checks passed.");
+}

@@ -231,6 +231,9 @@ fn main() {
         delay_budget: Duration::from_secs(3600),
         curve: LatencyCurve::from_points(raw_knots.clone()),
         store: Some(store_cfg),
+        degrade: drec_serve::DegradeConfig::default(),
+        supervisor: drec_serve::SupervisorConfig::default(),
+        faults: None,
     };
     let dispatch_overhead = {
         let runtime = ServeRuntime::start(probe_cfg.clone()).expect("probe runtime starts");

@@ -6,18 +6,25 @@
 //! estimated queueing delay (queue depth × per-query service estimate
 //! from the runtime's latency curve) exceeds the configured budget —
 //! DeepRecSys-style SLA protection rather than unbounded buffering.
+//! Shedding is priority-aware: a full queue evicts its newest
+//! strictly-lower-priority occupant before shedding the arrival.
 //!
 //! Batch formation is deadline-based: a free worker takes the oldest
 //! request, then waits until either `max_batch` requests are queued or
 //! the oldest request has waited `max_wait`, whichever comes first. With
 //! `max_wait = 0` this degenerates to the greedy take-everything-queued
 //! policy of [`drec_core::serving::simulate_queue`], which is what the
-//! load generator uses to cross-validate the analytical model.
+//! load generator uses to cross-validate the analytical model. The
+//! effective batch cap shrinks under overload (see
+//! [`crate::OverloadLadder`]), and requests whose deadline passed while
+//! queued are split out of the batch at drain time so workers never
+//! spend cycles on answers nobody is waiting for.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use crate::degrade::OverloadLadder;
 use crate::error::ServeError;
 use crate::request::Request;
 
@@ -46,6 +53,15 @@ impl BatcherConfig {
     }
 }
 
+/// One drained batch: the requests to execute plus any requests whose
+/// deadline passed while they queued. Expired requests must be answered
+/// with [`ServeError::DeadlineExceeded`], never executed.
+#[derive(Debug)]
+pub(crate) struct TakenBatch {
+    pub(crate) requests: Vec<Request>,
+    pub(crate) expired: Vec<Request>,
+}
+
 #[derive(Debug)]
 struct QueueInner {
     queue: VecDeque<Request>,
@@ -58,10 +74,19 @@ pub(crate) struct SharedQueue {
     inner: Mutex<QueueInner>,
     not_empty: Condvar,
     cfg: BatcherConfig,
+    ladder: Arc<OverloadLadder>,
+}
+
+/// Recovers the queue guard even if a panicking thread poisoned the
+/// mutex: `QueueInner` holds no invariant a panic can break mid-update
+/// (every mutation is a single push/drain), and refusing to serve after
+/// one poisoned lock would turn an isolated failure into a full outage.
+fn lock_recover<'a>(m: &'a Mutex<QueueInner>) -> MutexGuard<'a, QueueInner> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl SharedQueue {
-    pub(crate) fn new(cfg: BatcherConfig) -> Self {
+    pub(crate) fn new(cfg: BatcherConfig, ladder: Arc<OverloadLadder>) -> Self {
         SharedQueue {
             inner: Mutex::new(QueueInner {
                 queue: VecDeque::new(),
@@ -69,100 +94,168 @@ impl SharedQueue {
             }),
             not_empty: Condvar::new(),
             cfg,
+            ladder,
         }
     }
 
-    /// Admits `request` or sheds it. Shedding returns the request back to
-    /// the caller so it can deliver the typed error on the reply channel.
-    pub(crate) fn try_push(&self, request: Request) -> Result<(), (Request, ServeError)> {
-        let mut inner = self.inner.lock().expect("queue lock");
+    /// Admits `request` or sheds it. Returns `Ok(None)` on plain
+    /// admission, `Ok(Some((victim, error)))` when admission evicted a
+    /// queued lower-priority request (the caller delivers `error` on the
+    /// victim's reply channel), and `Err((request, error))` when the
+    /// arrival itself is shed.
+    #[allow(clippy::type_complexity, clippy::result_large_err)]
+    pub(crate) fn try_push(
+        &self,
+        request: Request,
+    ) -> Result<Option<(Request, ServeError)>, (Request, ServeError)> {
+        let mut inner = lock_recover(&self.inner);
         if !inner.accepting {
             return Err((request, ServeError::ShuttingDown));
         }
         let depth = inner.queue.len();
+        self.ladder.observe(depth);
         let estimated = self.cfg.estimated_delay_seconds(depth);
+        let mut victim = None;
         if depth >= self.cfg.queue_capacity || estimated > self.cfg.delay_budget.as_secs_f64() {
-            return Err((
-                request,
-                ServeError::Overloaded {
-                    depth,
-                    estimated_delay_seconds: estimated,
-                },
-            ));
+            // Over budget: evict the newest strictly-lower-priority
+            // occupant (newest, so higher-priority arrivals displace the
+            // work that has accrued the least waiting) or shed the
+            // arrival itself.
+            let evict_idx = inner
+                .queue
+                .iter()
+                .rposition(|queued| queued.priority < request.priority);
+            match evict_idx {
+                Some(idx) => {
+                    victim = inner.queue.remove(idx).map(|evicted| {
+                        (
+                            evicted,
+                            ServeError::Overloaded {
+                                depth,
+                                estimated_delay_seconds: estimated,
+                            },
+                        )
+                    });
+                }
+                None => {
+                    return Err((
+                        request,
+                        ServeError::Overloaded {
+                            depth,
+                            estimated_delay_seconds: estimated,
+                        },
+                    ));
+                }
+            }
         }
         inner.queue.push_back(request);
         drop(inner);
         self.not_empty.notify_one();
-        Ok(())
+        Ok(victim)
+    }
+
+    /// Re-admits a request whose batch failed transiently. Bypasses
+    /// admission control and the `accepting` flag: the request was
+    /// already admitted once, and the drain guarantee ("every accepted
+    /// request gets an answer") must hold through shutdown.
+    pub(crate) fn requeue(&self, request: Request) {
+        let mut inner = lock_recover(&self.inner);
+        // Front, not back: the request has already waited its turn.
+        inner.queue.push_front(request);
+        drop(inner);
+        self.not_empty.notify_one();
     }
 
     /// Blocks until a batch is ready (or shutdown + empty queue, which
-    /// returns `None`). The returned batch is non-empty and at most
-    /// `max_batch` long, in arrival order.
-    pub(crate) fn next_batch(&self) -> Option<Vec<Request>> {
-        let mut inner = self.inner.lock().expect("queue lock");
-        // Phase 1: wait for the first request (or drain-complete).
+    /// returns `None`). The returned batch holds at most the effective
+    /// batch cap of executable requests, in arrival order, plus any
+    /// drained requests that expired while queued. Either list may be
+    /// empty, but not both.
+    pub(crate) fn next_batch(&self) -> Option<TakenBatch> {
+        let mut inner = lock_recover(&self.inner);
         loop {
-            if !inner.queue.is_empty() {
-                break;
+            // Phase 1: wait for the first request (or drain-complete).
+            loop {
+                if !inner.queue.is_empty() {
+                    break;
+                }
+                if !inner.accepting {
+                    return None;
+                }
+                inner = self
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
-            if !inner.accepting {
-                return None;
+            // Phase 2: coalesce until the effective cap or the oldest
+            // request's wait deadline. The oldest request is still in the
+            // queue while we wait, so competing workers can steal it —
+            // both re-check state after every wake-up.
+            let wait_deadline =
+                inner.queue.front().expect("non-empty").submitted_at + self.cfg.max_wait;
+            loop {
+                if inner.queue.is_empty() {
+                    // Another worker stole the whole queue; start over.
+                    break;
+                }
+                let now = Instant::now();
+                let cap = self.ladder.max_batch(self.cfg.max_batch);
+                if inner.queue.len() >= cap || now >= wait_deadline || !inner.accepting {
+                    let take = inner.queue.len().min(cap);
+                    let drained = inner.queue.drain(..take);
+                    let mut batch = TakenBatch {
+                        requests: Vec::with_capacity(take),
+                        expired: Vec::new(),
+                    };
+                    for request in drained {
+                        if request.expired_at(now) {
+                            batch.expired.push(request);
+                        } else {
+                            batch.requests.push(request);
+                        }
+                    }
+                    drop(inner);
+                    // More work may remain for the next free worker.
+                    self.not_empty.notify_one();
+                    return Some(batch);
+                }
+                let (guard, _timeout) = self
+                    .not_empty
+                    .wait_timeout(inner, wait_deadline - now)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                inner = guard;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock");
         }
-        // Phase 2: coalesce until max_batch or the oldest request's
-        // deadline. The oldest request is still in the queue while we
-        // wait, so competing workers can steal it — both re-check state
-        // after every wake-up.
-        let deadline = inner.queue.front().expect("non-empty").submitted_at + self.cfg.max_wait;
-        loop {
-            if inner.queue.is_empty() {
-                // Another worker stole the whole queue; start over.
-                return self.next_batch_reentry(inner);
-            }
-            let now = Instant::now();
-            if inner.queue.len() >= self.cfg.max_batch || now >= deadline || !inner.accepting {
-                let take = inner.queue.len().min(self.cfg.max_batch);
-                let batch: Vec<Request> = inner.queue.drain(..take).collect();
-                drop(inner);
-                // More work may remain for the next free worker.
-                self.not_empty.notify_one();
-                return Some(batch);
-            }
-            let (guard, _timeout) = self
-                .not_empty
-                .wait_timeout(inner, deadline - now)
-                .expect("queue lock");
-            inner = guard;
-        }
-    }
-
-    fn next_batch_reentry(
-        &self,
-        inner: std::sync::MutexGuard<'_, QueueInner>,
-    ) -> Option<Vec<Request>> {
-        drop(inner);
-        self.next_batch()
     }
 
     /// Stops admission; queued work remains for workers to drain.
     pub(crate) fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_recover(&self.inner);
         inner.accepting = false;
         drop(inner);
         self.not_empty.notify_all();
     }
 
+    /// Empties the queue, returning every queued request. Used by the
+    /// supervisor when no worker can be revived: the drain guarantee is
+    /// then satisfied by answering each request with a typed error
+    /// instead of leaving it to hang.
+    pub(crate) fn drain_all(&self) -> Vec<Request> {
+        let mut inner = lock_recover(&self.inner);
+        inner.queue.drain(..).collect()
+    }
+
     /// Current queue depth (racy; for observation only).
     pub(crate) fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").queue.len()
+        lock_recover(&self.inner).queue.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::degrade::DegradeConfig;
+    use crate::request::Priority;
     use drec_ops::Value;
     use drec_tensor::Tensor;
     use std::sync::mpsc;
@@ -173,12 +266,25 @@ mod tests {
         Request,
         mpsc::Receiver<crate::error::Result<crate::Response>>,
     ) {
+        priority_request(id, Priority::Normal)
+    }
+
+    fn priority_request(
+        id: u64,
+        priority: Priority,
+    ) -> (
+        Request,
+        mpsc::Receiver<crate::error::Result<crate::Response>>,
+    ) {
         let (tx, rx) = mpsc::channel();
         (
             Request {
                 id,
                 inputs: vec![Value::dense(Tensor::zeros(&[1, 1]))],
                 submitted_at: Instant::now(),
+                deadline: None,
+                priority,
+                attempts: 0,
                 reply: tx,
             },
             rx,
@@ -195,33 +301,43 @@ mod tests {
         }
     }
 
+    fn queue(c: BatcherConfig) -> SharedQueue {
+        let ladder = Arc::new(OverloadLadder::new(
+            DegradeConfig::default(),
+            c.queue_capacity,
+            None,
+        ));
+        SharedQueue::new(c, ladder)
+    }
+
     #[test]
     fn push_then_batch_preserves_arrival_order() {
-        let q = SharedQueue::new(cfg(8, 100));
+        let q = queue(cfg(8, 100));
         for id in 0..5 {
             q.try_push(dummy_request(id).0).unwrap();
         }
         let batch = q.next_batch().unwrap();
         assert_eq!(
-            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
             vec![0, 1, 2, 3, 4]
         );
+        assert!(batch.expired.is_empty());
     }
 
     #[test]
     fn batches_respect_max_batch() {
-        let q = SharedQueue::new(cfg(3, 100));
+        let q = queue(cfg(3, 100));
         for id in 0..7 {
             q.try_push(dummy_request(id).0).unwrap();
         }
-        assert_eq!(q.next_batch().unwrap().len(), 3);
-        assert_eq!(q.next_batch().unwrap().len(), 3);
-        assert_eq!(q.next_batch().unwrap().len(), 1);
+        assert_eq!(q.next_batch().unwrap().requests.len(), 3);
+        assert_eq!(q.next_batch().unwrap().requests.len(), 3);
+        assert_eq!(q.next_batch().unwrap().requests.len(), 1);
     }
 
     #[test]
     fn depth_cap_sheds_with_overloaded() {
-        let q = SharedQueue::new(cfg(8, 2));
+        let q = queue(cfg(8, 2));
         q.try_push(dummy_request(0).0).unwrap();
         q.try_push(dummy_request(1).0).unwrap();
         let (_, err) = q.try_push(dummy_request(2).0).unwrap_err();
@@ -229,11 +345,73 @@ mod tests {
     }
 
     #[test]
+    fn high_priority_arrival_evicts_newest_lower_priority_occupant() {
+        let q = queue(cfg(8, 2));
+        q.try_push(priority_request(0, Priority::Low).0).unwrap();
+        q.try_push(priority_request(1, Priority::Low).0).unwrap();
+        let (victim, err) = q
+            .try_push(priority_request(2, Priority::High).0)
+            .unwrap()
+            .expect("should evict a low-priority occupant");
+        assert_eq!(victim.id, 1, "newest lower-priority request is evicted");
+        assert!(matches!(err, ServeError::Overloaded { .. }));
+        let ids: Vec<u64> = q
+            .next_batch()
+            .unwrap()
+            .requests
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn equal_priority_arrival_is_shed_not_evicting() {
+        let q = queue(cfg(8, 1));
+        q.try_push(priority_request(0, Priority::High).0).unwrap();
+        let (shed, err) = q
+            .try_push(priority_request(1, Priority::High).0)
+            .unwrap_err();
+        assert_eq!(shed.id, 1);
+        assert!(matches!(err, ServeError::Overloaded { .. }));
+    }
+
+    #[test]
+    fn expired_requests_are_split_out_of_the_batch() {
+        let q = queue(cfg(8, 100));
+        let (mut late, _rx_late) = dummy_request(0);
+        late.deadline = Some(Instant::now() - Duration::from_millis(5));
+        let (fresh, _rx_fresh) = dummy_request(1);
+        q.try_push(late).unwrap();
+        q.try_push(fresh).unwrap();
+        let batch = q.next_batch().unwrap();
+        assert_eq!(
+            batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(
+            batch.expired.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn requeue_bypasses_closed_admission() {
+        let q = queue(cfg(8, 100));
+        let (req, _rx) = dummy_request(7);
+        q.close();
+        q.requeue(req);
+        let batch = q.next_batch().unwrap();
+        assert_eq!(batch.requests[0].id, 7);
+        assert!(q.next_batch().is_none());
+    }
+
+    #[test]
     fn delay_budget_sheds_with_overloaded() {
         let mut c = cfg(8, 1_000);
         c.per_query_service_estimate = 1.0; // 1 s per queued query
         c.delay_budget = Duration::from_millis(1500);
-        let q = SharedQueue::new(c);
+        let q = queue(c);
         q.try_push(dummy_request(0).0).unwrap(); // est 0s
         q.try_push(dummy_request(1).0).unwrap(); // est 1s
         let (_, err) = q.try_push(dummy_request(2).0).unwrap_err(); // est 2s > 1.5s
@@ -251,13 +429,13 @@ mod tests {
 
     #[test]
     fn closed_queue_sheds_with_shutting_down() {
-        let q = SharedQueue::new(cfg(8, 100));
+        let q = queue(cfg(8, 100));
         q.try_push(dummy_request(0).0).unwrap();
         q.close();
         let (_, err) = q.try_push(dummy_request(1).0).unwrap_err();
         assert!(matches!(err, ServeError::ShuttingDown));
         // Queued work is still drainable.
-        assert_eq!(q.next_batch().unwrap().len(), 1);
+        assert_eq!(q.next_batch().unwrap().requests.len(), 1);
         assert!(q.next_batch().is_none());
     }
 
@@ -270,7 +448,7 @@ mod tests {
             delay_budget: Duration::from_secs(3600),
             per_query_service_estimate: 0.0,
         };
-        let q = std::sync::Arc::new(SharedQueue::new(c));
+        let q = std::sync::Arc::new(queue(c));
         q.try_push(dummy_request(0).0).unwrap();
         let pusher = {
             let q = std::sync::Arc::clone(&q);
@@ -282,7 +460,11 @@ mod tests {
         // The worker should wait past the 30 ms arrival and coalesce both.
         let batch = q.next_batch().unwrap();
         pusher.join().unwrap();
-        assert_eq!(batch.len(), 2, "late arrival should join the batch");
+        assert_eq!(
+            batch.requests.len(),
+            2,
+            "late arrival should join the batch"
+        );
     }
 
     #[test]
@@ -294,12 +476,12 @@ mod tests {
             delay_budget: Duration::from_secs(3600),
             per_query_service_estimate: 0.0,
         };
-        let q = SharedQueue::new(c);
+        let q = queue(c);
         q.try_push(dummy_request(0).0).unwrap();
         q.try_push(dummy_request(1).0).unwrap();
         let start = Instant::now();
         let batch = q.next_batch().unwrap();
-        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.requests.len(), 2);
         assert!(
             start.elapsed() < Duration::from_secs(5),
             "must not wait out max_wait"

@@ -1,0 +1,283 @@
+//! Graceful degradation: the overload ladder.
+//!
+//! Under sustained queue pressure the runtime does not jump straight to
+//! shedding. It walks a ladder of progressively cheaper service modes,
+//! trading batch latency and then embedding fidelity for throughput:
+//!
+//! | level | name         | effect                                          |
+//! |-------|--------------|-------------------------------------------------|
+//! | 0     | Normal       | full batches, full-fidelity lookups             |
+//! | 1     | ReducedBatch | max batch halved → shorter coalesce waits       |
+//! | 2     | CacheOnly    | embedding reads served from hot-row cache only; |
+//! |       |              | cold shards skipped (counted quality loss)      |
+//!
+//! Shedding ([`crate::ServeError::Overloaded`]) remains the backstop
+//! above the ladder, and priority-aware eviction runs underneath it.
+//!
+//! Transitions are driven by queue depth as a fraction of capacity, with
+//! hysteresis so the ladder does not flap: a level entered at fraction
+//! `t` is only left once depth falls below `t * exit_hysteresis`. Every
+//! transition increments an atomic counter, exported through
+//! [`crate::MetricsRegistry`] snapshots, so degradation is observable
+//! rather than silent.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use drec_store::EmbeddingStore;
+
+/// Thresholds and floors for the overload ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeConfig {
+    /// Queue-depth fraction (of `queue_capacity`) at which the ladder
+    /// steps to [`OverloadLevel::ReducedBatch`].
+    pub reduce_batch_at: f64,
+    /// Queue-depth fraction at which the ladder steps to
+    /// [`OverloadLevel::CacheOnly`].
+    pub cache_only_at: f64,
+    /// A level entered at fraction `t` is left once depth falls below
+    /// `t * exit_hysteresis` (must be in `(0, 1]`; 1 disables
+    /// hysteresis).
+    pub exit_hysteresis: f64,
+    /// Smallest batch the ladder will shrink to at `ReducedBatch`.
+    pub min_batch: usize,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            reduce_batch_at: 0.5,
+            cache_only_at: 0.8,
+            exit_hysteresis: 0.5,
+            min_batch: 1,
+        }
+    }
+}
+
+/// The rung of the overload ladder the runtime currently stands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OverloadLevel {
+    /// Full-fidelity service.
+    Normal,
+    /// Max batch size halved (floored at `min_batch`) so coalesce waits
+    /// shrink and queue drain accelerates.
+    ReducedBatch,
+    /// Embedding lookups served from the hot-row cache only; cold-shard
+    /// reads are skipped and counted as quality loss.
+    CacheOnly,
+}
+
+impl OverloadLevel {
+    fn from_u8(v: u8) -> OverloadLevel {
+        match v {
+            0 => OverloadLevel::Normal,
+            1 => OverloadLevel::ReducedBatch,
+            _ => OverloadLevel::CacheOnly,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            OverloadLevel::Normal => 0,
+            OverloadLevel::ReducedBatch => 1,
+            OverloadLevel::CacheOnly => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OverloadLevel::Normal => "normal",
+            OverloadLevel::ReducedBatch => "reduced-batch",
+            OverloadLevel::CacheOnly => "cache-only",
+        })
+    }
+}
+
+/// Shared overload-ladder state. Producers call [`observe`] on every
+/// admission attempt; workers consult [`max_batch`]; the store is
+/// toggled in and out of cache-only mode at the level-2 boundary.
+///
+/// [`observe`]: OverloadLadder::observe
+/// [`max_batch`]: OverloadLadder::max_batch
+#[derive(Debug)]
+pub struct OverloadLadder {
+    cfg: DegradeConfig,
+    capacity: usize,
+    level: AtomicU8,
+    /// Ladder steps up (toward degradation), by destination level.
+    steps_up: [AtomicU64; 2],
+    /// Ladder steps down (toward recovery), by origin level.
+    steps_down: [AtomicU64; 2],
+    store: Option<Arc<EmbeddingStore>>,
+}
+
+impl OverloadLadder {
+    /// Builds a ladder over a queue of `capacity` slots. When `store` is
+    /// given and has a hot-row cache, level 2 toggles it into cache-only
+    /// mode; otherwise level 2 only shrinks batches further (the store
+    /// refuses cache-only without a cache — see
+    /// [`EmbeddingStore::set_cache_only`]).
+    pub fn new(cfg: DegradeConfig, capacity: usize, store: Option<Arc<EmbeddingStore>>) -> Self {
+        OverloadLadder {
+            cfg,
+            capacity: capacity.max(1),
+            level: AtomicU8::new(0),
+            steps_up: [AtomicU64::new(0), AtomicU64::new(0)],
+            steps_down: [AtomicU64::new(0), AtomicU64::new(0)],
+            store,
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> OverloadLevel {
+        OverloadLevel::from_u8(self.level.load(Ordering::Acquire))
+    }
+
+    /// Observes the instantaneous queue depth and walks the ladder one
+    /// rung at a time. Called under the queue lock, so transitions are
+    /// serialized; the atomics exist for lock-free *readers*.
+    pub fn observe(&self, depth: usize) {
+        let fraction = depth as f64 / self.capacity as f64;
+        loop {
+            let level = self.level();
+            let target = self.target_for(level, fraction);
+            if target == level {
+                return;
+            }
+            // Step one rung toward the target.
+            let next = if target > level {
+                OverloadLevel::from_u8(level.as_u8() + 1)
+            } else {
+                OverloadLevel::from_u8(level.as_u8() - 1)
+            };
+            if self
+                .level
+                .compare_exchange(
+                    level.as_u8(),
+                    next.as_u8(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                // Lost a race with another observer; re-read and retry.
+                continue;
+            }
+            self.on_transition(level, next);
+        }
+    }
+
+    /// Where the ladder should stand for `fraction`, honouring
+    /// hysteresis relative to the current `level`.
+    fn target_for(&self, level: OverloadLevel, fraction: f64) -> OverloadLevel {
+        let h = self.cfg.exit_hysteresis.clamp(0.0, 1.0);
+        // Enter thresholds.
+        let enter = if fraction >= self.cfg.cache_only_at {
+            OverloadLevel::CacheOnly
+        } else if fraction >= self.cfg.reduce_batch_at {
+            OverloadLevel::ReducedBatch
+        } else {
+            OverloadLevel::Normal
+        };
+        if enter >= level {
+            return enter;
+        }
+        // Stepping down: only once depth falls below the *exit* threshold
+        // of the current level.
+        let exit_threshold = match level {
+            OverloadLevel::CacheOnly => self.cfg.cache_only_at * h,
+            OverloadLevel::ReducedBatch => self.cfg.reduce_batch_at * h,
+            OverloadLevel::Normal => return OverloadLevel::Normal,
+        };
+        if fraction < exit_threshold {
+            enter
+        } else {
+            level
+        }
+    }
+
+    fn on_transition(&self, from: OverloadLevel, to: OverloadLevel) {
+        if to > from {
+            self.steps_up[(to.as_u8() - 1) as usize].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.steps_down[(from.as_u8() - 1) as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(store) = &self.store {
+            match (from, to) {
+                (_, OverloadLevel::CacheOnly) => store.set_cache_only(true),
+                (OverloadLevel::CacheOnly, _) => store.set_cache_only(false),
+                _ => {}
+            }
+        }
+    }
+
+    /// The batch cap workers should honour right now: `configured` at
+    /// level 0, halved (floored at `min_batch`) at levels 1 and 2.
+    pub fn max_batch(&self, configured: usize) -> usize {
+        match self.level() {
+            OverloadLevel::Normal => configured,
+            OverloadLevel::ReducedBatch | OverloadLevel::CacheOnly => {
+                (configured / 2).max(self.cfg.min_batch).max(1)
+            }
+        }
+    }
+
+    /// `(entered_reduced_batch, entered_cache_only, recovered_from_reduced_batch,
+    /// recovered_from_cache_only)` transition counts.
+    pub fn transition_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.steps_up[0].load(Ordering::Relaxed),
+            self.steps_up[1].load(Ordering::Relaxed),
+            self.steps_down[0].load(Ordering::Relaxed),
+            self.steps_down[1].load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder(capacity: usize) -> OverloadLadder {
+        OverloadLadder::new(DegradeConfig::default(), capacity, None)
+    }
+
+    #[test]
+    fn ladder_steps_up_and_down_with_hysteresis() {
+        let l = ladder(100);
+        assert_eq!(l.level(), OverloadLevel::Normal);
+        l.observe(50);
+        assert_eq!(l.level(), OverloadLevel::ReducedBatch);
+        l.observe(80);
+        assert_eq!(l.level(), OverloadLevel::CacheOnly);
+        // Above the exit threshold (0.8 * 0.5 = 0.4): stay degraded.
+        l.observe(45);
+        assert_eq!(l.level(), OverloadLevel::CacheOnly);
+        // Below 0.4: step down one rung...
+        l.observe(30);
+        assert_eq!(l.level(), OverloadLevel::ReducedBatch);
+        // ...and below 0.5 * 0.5 = 0.25 all the way back to normal.
+        l.observe(10);
+        assert_eq!(l.level(), OverloadLevel::Normal);
+        assert_eq!(l.transition_counts(), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn deep_queue_walks_multiple_rungs_in_one_observation() {
+        let l = ladder(10);
+        l.observe(9);
+        assert_eq!(l.level(), OverloadLevel::CacheOnly);
+        assert_eq!(l.transition_counts(), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn max_batch_halves_under_degradation() {
+        let l = ladder(10);
+        assert_eq!(l.max_batch(16), 16);
+        l.observe(6);
+        assert_eq!(l.max_batch(16), 8);
+        assert_eq!(l.max_batch(1), 1);
+    }
+}

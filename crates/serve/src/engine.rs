@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use drec_core::serving::LatencyCurve;
+use drec_faultsim::{BatchFault, FaultHook};
 use drec_models::{InputSpec, RecModel};
 use drec_ops::Value;
 use drec_par::ParPool;
@@ -34,6 +35,7 @@ pub struct Engine {
     curve: LatencyCurve,
     pool: Arc<ParPool>,
     store: Option<Arc<EmbeddingStore>>,
+    faults: FaultHook,
 }
 
 impl Engine {
@@ -71,7 +73,14 @@ impl Engine {
             curve,
             pool,
             store,
+            faults: FaultHook::disabled(),
         }
+    }
+
+    /// Installs a fault-injection hook on this engine's batch path.
+    /// Disabled hooks cost one branch per batch; see [`drec_faultsim`].
+    pub fn set_fault_hook(&mut self, faults: FaultHook) {
+        self.faults = faults;
     }
 
     /// The shared embedding store this engine's model resolves lookups
@@ -109,9 +118,28 @@ impl Engine {
     /// Returns [`ServeError::WorkerFailed`] when graph execution fails;
     /// the caller is responsible for fanning the error out to every
     /// request in the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an installed fault hook schedules a panic for this
+    /// batch — the worker's `catch_unwind` isolation is the intended
+    /// recovery path.
     pub fn run_batch(&mut self, requests: &[Request]) -> Result<BatchExecution> {
         let batch = requests.len();
-        let inputs = coalesce_inputs(self.model.spec(), requests);
+        let mut inputs = coalesce_inputs(self.model.spec(), requests);
+        match self.faults.on_batch() {
+            BatchFault::None => {}
+            BatchFault::Panic { batch } => {
+                panic!("faultsim: injected panic on batch {batch}")
+            }
+            BatchFault::Corrupt { .. } => {
+                // Malform the coalesced tensor set: dropping one input
+                // makes the executor reject the batch with a typed
+                // input-count error, modelling a corrupted request batch
+                // that fails *cleanly* rather than crashing the worker.
+                inputs.pop();
+            }
+        }
         let start = Instant::now();
         let outputs = drec_par::with_pool(&self.pool, || self.model.run(inputs)).map_err(|e| {
             ServeError::WorkerFailed {
@@ -179,6 +207,9 @@ mod tests {
                     id: i as u64,
                     inputs: QueryGen::uniform(i as u64).batch(spec, 1),
                     submitted_at: Instant::now(),
+                    deadline: None,
+                    priority: crate::request::Priority::default(),
+                    attempts: 0,
                     reply: tx,
                 }
             })
@@ -195,6 +226,34 @@ mod tests {
         // Modelled time comes from the curve: batch 4 interpolates
         // between the knots at 1 and 64.
         assert!(exec.modelled_seconds > 1e-3 && exec.modelled_seconds < 8e-3);
+    }
+
+    #[test]
+    fn corrupt_fault_surfaces_as_typed_error_not_panic() {
+        let mut e = engine();
+        let plan = drec_faultsim::FaultPlan {
+            corrupt_every_n_batches: Some(1),
+            ..drec_faultsim::FaultPlan::quiet(11)
+        };
+        e.set_fault_hook(FaultHook::from_plan(&plan));
+        let reqs = requests(2, &e.spec().clone());
+        let err = e.run_batch(&reqs).unwrap_err();
+        assert!(matches!(err, ServeError::WorkerFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn panic_fault_fires_on_schedule() {
+        let plan = drec_faultsim::FaultPlan {
+            panic_every_n_batches: Some(1),
+            ..drec_faultsim::FaultPlan::quiet(11)
+        };
+        let mut e = engine();
+        e.set_fault_hook(FaultHook::from_plan(&plan));
+        let reqs = requests(1, &e.spec().clone());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = e.run_batch(&reqs);
+        }));
+        assert!(caught.is_err(), "injected panic should unwind");
     }
 
     #[test]

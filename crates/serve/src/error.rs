@@ -27,7 +27,21 @@ pub enum ServeError {
     /// The worker executing this request's batch failed.
     WorkerFailed {
         /// Human-readable failure description (the underlying
-        /// [`drec_graph::GraphError`] rendered per batch).
+        /// [`drec_graph::GraphError`] rendered per batch, or a caught
+        /// worker panic message).
+        reason: String,
+    },
+    /// The request's deadline passed before a worker picked it up; the
+    /// batcher dropped it without executing.
+    DeadlineExceeded {
+        /// How far past the deadline the request was when dropped,
+        /// seconds.
+        late_seconds: f64,
+    },
+    /// A worker thread could not be spawned (at construction or during a
+    /// supervisor restart).
+    SpawnFailed {
+        /// The OS error rendered.
         reason: String,
     },
     /// The response channel was dropped without a reply (a worker panic
@@ -56,6 +70,14 @@ impl fmt::Display for ServeError {
                 "invalid input at slot {slot}: expected {expected}, got {got}"
             ),
             ServeError::WorkerFailed { reason } => write!(f, "worker failed: {reason}"),
+            ServeError::DeadlineExceeded { late_seconds } => write!(
+                f,
+                "deadline exceeded: dropped {:.3} ms past deadline without executing",
+                late_seconds * 1e3
+            ),
+            ServeError::SpawnFailed { reason } => {
+                write!(f, "failed to spawn worker thread: {reason}")
+            }
             ServeError::Disconnected => write!(f, "response channel disconnected"),
         }
     }

@@ -40,6 +40,7 @@
 //! ```
 
 mod batcher;
+mod degrade;
 mod engine;
 mod error;
 mod metrics;
@@ -47,12 +48,20 @@ mod request;
 mod runtime;
 
 pub use batcher::BatcherConfig;
+pub use degrade::{DegradeConfig, OverloadLadder, OverloadLevel};
 pub use engine::{BatchExecution, Engine};
 pub use error::{Result, ServeError};
 pub use metrics::{LatencyHistogram, MetricsRegistry, MetricsSnapshot, WorkerMetrics};
-pub use request::{coalesce_inputs, split_outputs, validate_single, Request, RequestId, Response};
-pub use runtime::{PendingResponse, ServeConfig, ServeHandle, ServeRuntime};
+pub use request::{
+    coalesce_inputs, split_outputs, validate_single, Priority, Request, RequestId, Response,
+    SubmitOptions,
+};
+pub use runtime::{PendingResponse, ServeConfig, ServeHandle, ServeRuntime, SupervisorConfig};
 
 // Re-exported so serving callers can configure the shared parameter store
 // without depending on `drec-store` directly.
 pub use drec_store::{CachePolicy, EmbeddingStore, RowEncoding, StoreConfig, StoreStats};
+
+// Re-exported so chaos harnesses can build fault plans without depending
+// on `drec-faultsim` directly.
+pub use drec_faultsim::{FaultCounts, FaultHook, FaultPlan};

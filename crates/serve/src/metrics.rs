@@ -8,11 +8,17 @@
 //! monitoring.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use drec_par::{ParPool, PoolStats};
 use drec_store::{EmbeddingStore, StoreStats};
+
+use crate::degrade::{OverloadLadder, OverloadLevel};
+
+/// Cap on retained worker panic reasons; older reasons are kept, later
+/// ones dropped (the first failures are the diagnostic ones).
+const MAX_PANIC_REASONS: usize = 64;
 
 /// Number of histogram buckets: 4 per octave × 26 octaves covers
 /// 1 µs … ~67 s end-to-end latencies.
@@ -135,6 +141,13 @@ pub struct MetricsRegistry {
     shed: AtomicU64,
     rejected_invalid: AtomicU64,
     completed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    retried: AtomicU64,
+    failed: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    panic_reasons: Mutex<Vec<String>>,
+    ladder: Option<Arc<OverloadLadder>>,
     /// End-to-end wall latency (admission → response).
     pub latency: LatencyHistogram,
     /// Modelled per-platform batch execution time from the latency curve.
@@ -181,6 +194,13 @@ impl MetricsRegistry {
             shed: AtomicU64::new(0),
             rejected_invalid: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            panic_reasons: Mutex::new(Vec::new()),
+            ladder: None,
             latency: LatencyHistogram::new(),
             modelled: LatencyHistogram::new(),
             workers: (0..workers).map(|_| WorkerMetrics::default()).collect(),
@@ -191,9 +211,49 @@ impl MetricsRegistry {
         }
     }
 
+    /// Attaches the runtime's overload ladder so snapshots report the
+    /// current degradation level and transition counts. Called once at
+    /// runtime construction, before the registry is shared.
+    pub(crate) fn set_ladder(&mut self, ladder: Arc<OverloadLadder>) {
+        self.ladder = Some(ladder);
+    }
+
     /// Counts one admitted request.
     pub fn record_accepted(&self) {
         self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request dropped past its deadline without executing.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request re-enqueued after its batch failed.
+    pub fn record_retry(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request answered with [`crate::ServeError::WorkerFailed`].
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker panic with its rendered reason. The reason list
+    /// is bounded at `MAX_PANIC_REASONS` (64); the count is not.
+    pub fn record_worker_panic(&self, reason: &str) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        let mut reasons = self
+            .panic_reasons
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if reasons.len() < MAX_PANIC_REASONS {
+            reasons.push(reason.to_string());
+        }
+    }
+
+    /// Counts one supervisor-driven worker restart.
+    pub fn record_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one shed (overloaded or shutting-down) request.
@@ -229,11 +289,39 @@ impl MetricsRegistry {
             .map(|w| w.samples.load(Ordering::Relaxed))
             .sum();
         let pool_delta = self.pool.stats().since(&self.pool_baseline);
+        let (
+            entered_reduced_batch,
+            entered_cache_only,
+            recovered_reduced_batch,
+            recovered_cache_only,
+        ) = self
+            .ladder
+            .as_ref()
+            .map(|l| l.transition_counts())
+            .unwrap_or((0, 0, 0, 0));
         MetricsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            panic_reasons: self
+                .panic_reasons
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clone(),
+            overload_level: self
+                .ladder
+                .as_ref()
+                .map_or(OverloadLevel::Normal, |l| l.level()),
+            entered_reduced_batch,
+            entered_cache_only,
+            recovered_reduced_batch,
+            recovered_cache_only,
             batches,
             mean_batch: if batches == 0 {
                 0.0
@@ -273,6 +361,28 @@ pub struct MetricsSnapshot {
     pub rejected_invalid: u64,
     /// Requests whose response was produced.
     pub completed: u64,
+    /// Requests dropped past their deadline without executing.
+    pub deadline_exceeded: u64,
+    /// Requests re-enqueued once after a transient batch failure.
+    pub retried: u64,
+    /// Requests answered with [`crate::ServeError::WorkerFailed`].
+    pub failed: u64,
+    /// Worker panics caught (injected or organic).
+    pub worker_panics: u64,
+    /// Workers restarted by the supervisor.
+    pub worker_restarts: u64,
+    /// Rendered panic messages, first `MAX_PANIC_REASONS` (64) retained.
+    pub panic_reasons: Vec<String>,
+    /// Current rung of the overload ladder.
+    pub overload_level: OverloadLevel,
+    /// Ladder transitions into reduced-batch mode.
+    pub entered_reduced_batch: u64,
+    /// Ladder transitions into cache-only mode.
+    pub entered_cache_only: u64,
+    /// Ladder recoveries out of reduced-batch mode.
+    pub recovered_reduced_batch: u64,
+    /// Ladder recoveries out of cache-only mode.
+    pub recovered_cache_only: u64,
     /// Batches executed across all workers.
     pub batches: u64,
     /// Mean coalesced batch size.

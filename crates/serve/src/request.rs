@@ -18,6 +18,41 @@ use crate::error::{Result, ServeError};
 /// Monotonically increasing request identifier, unique per runtime.
 pub type RequestId = u64;
 
+/// Priority class of a request. Under queue pressure the batcher sheds
+/// lowest-priority work first: an arriving request may evict a queued
+/// request of a strictly lower class instead of being shed itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Best-effort traffic, first to be shed (e.g. prefetch, backfill).
+    Low,
+    /// Ordinary interactive traffic.
+    #[default]
+    Normal,
+    /// Latency-critical traffic, last to be shed.
+    High,
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        })
+    }
+}
+
+/// Per-request submission options: deadline budget and priority class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Time budget from submission; once it elapses the batcher drops
+    /// the request with [`crate::ServeError::DeadlineExceeded`] instead
+    /// of executing it. `None` means no deadline.
+    pub deadline: Option<std::time::Duration>,
+    /// Priority class for shed-lowest-first admission.
+    pub priority: Priority,
+}
+
 /// One admitted inference query flowing through the runtime.
 #[derive(Debug)]
 pub struct Request {
@@ -27,7 +62,22 @@ pub struct Request {
     pub inputs: Vec<Value>,
     /// When the request was admitted.
     pub submitted_at: Instant,
+    /// Absolute point after which execution is pointless; the batcher
+    /// drops the request instead of running it.
+    pub deadline: Option<Instant>,
+    /// Priority class for shed-lowest-first admission.
+    pub priority: Priority,
+    /// Execution attempts so far; a request whose batch failed is
+    /// re-enqueued once (`attempts` 0 → 1) before the error surfaces.
+    pub(crate) attempts: u32,
     pub(crate) reply: mpsc::Sender<Result<Response>>,
+}
+
+impl Request {
+    /// Whether the deadline has passed at `now`.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 /// The completed result of one request.
@@ -183,6 +233,9 @@ mod tests {
                 id,
                 inputs,
                 submitted_at: Instant::now(),
+                deadline: None,
+                priority: Priority::default(),
+                attempts: 0,
                 reply: tx,
             },
             rx,

@@ -1,32 +1,75 @@
-//! The serving runtime: worker pool, submission handles, and lifecycle.
+//! The serving runtime: worker pool, supervision, submission handles,
+//! and lifecycle.
 //!
 //! ```text
 //! ServeHandle::submit ──try_push──▶ SharedQueue ──next_batch──▶ worker 0..N
-//!        │ (shed: Overloaded)          │                        │
+//!        │ (shed: Overloaded)          │                        │ catch_unwind
 //!        ▼                             ▼                        ▼
 //!   PendingResponse ◀──per-request mpsc reply── Engine::run_batch
+//!                                                               │ panic
+//!                                                               ▼
+//!                                    supervisor ◀──WorkerExit── (worker dies)
+//!                                        │ restart w/ fresh Engine, backoff
+//!                                        ▼
+//!                                    new worker thread
 //! ```
 //!
 //! Every worker owns a full [`Engine`] (model built from the same seed,
 //! so all replicas share parameters); requests are delivered back on
 //! per-request channels, which keeps the runtime lock-free outside the
 //! single batcher queue.
+//!
+//! Fault tolerance: each batch executes under `catch_unwind`, so a
+//! panicking batch (injected or organic) fails *that batch* — its
+//! requests are re-enqueued once, then surfaced as
+//! [`ServeError::WorkerFailed`] — and kills only its worker thread. A
+//! supervisor thread observes worker exits and restarts panicked workers
+//! with a fresh engine under a bounded exponential backoff; when the
+//! restart budget is exhausted with no worker left alive, the supervisor
+//! closes the queue and answers every queued request with a typed error
+//! so nothing ever hangs.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use drec_core::serving::LatencyCurve;
+use drec_faultsim::{FaultHook, FaultPlan};
 use drec_models::{InputSpec, ModelId, ModelScale};
 use drec_ops::Value;
+use drec_par::ParPool;
 use drec_store::{EmbeddingStore, StoreConfig};
 
 use crate::batcher::{BatcherConfig, SharedQueue};
+use crate::degrade::{DegradeConfig, OverloadLadder};
 use crate::engine::Engine;
 use crate::error::{Result, ServeError};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
-use crate::request::{validate_single, Request, RequestId, Response};
+use crate::request::{validate_single, Request, RequestId, Response, SubmitOptions};
+
+/// Worker-supervision parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Total worker restarts the supervisor will perform over the
+    /// runtime's lifetime before declaring the pool unrecoverable.
+    pub max_restarts: u32,
+    /// Delay before the first restart; doubles per restart.
+    pub backoff: Duration,
+    /// Upper bound on the restart delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 32,
+            backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
 
 /// Configuration for [`ServeRuntime::start`].
 #[derive(Debug, Clone)]
@@ -55,6 +98,13 @@ pub struct ServeConfig {
     /// parameters, optional quantization and hot-row caching); `None`
     /// keeps the original per-worker dense tables.
     pub store: Option<StoreConfig>,
+    /// Overload-ladder thresholds (see [`crate::OverloadLadder`]).
+    pub degrade: DegradeConfig,
+    /// Worker-restart policy.
+    pub supervisor: SupervisorConfig,
+    /// Deterministic fault injection; `None` (the default) installs
+    /// disabled hooks that cost one branch per batch / per cold read.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ServeConfig {
@@ -71,8 +121,82 @@ impl ServeConfig {
             delay_budget: Duration::from_secs(60),
             curve: LatencyCurve::from_points(vec![(1, 1e-4), (1024, 1e-2)]),
             store: None,
+            degrade: DegradeConfig::default(),
+            supervisor: SupervisorConfig::default(),
+            faults: None,
         }
     }
+}
+
+/// Everything needed to build a fresh, identical [`Engine`] — used at
+/// startup and by the supervisor when replacing a panicked worker.
+struct EngineFactory {
+    model: ModelId,
+    scale: ModelScale,
+    seed: u64,
+    curve: LatencyCurve,
+    pool: Arc<ParPool>,
+    store: Option<Arc<EmbeddingStore>>,
+    faults: FaultHook,
+}
+
+impl EngineFactory {
+    fn build(&self) -> Result<Engine> {
+        let model = match &self.store {
+            Some(s) => self
+                .model
+                .build_with_store(self.scale, self.seed, Arc::clone(s)),
+            None => self.model.build(self.scale, self.seed),
+        }
+        .map_err(|e| ServeError::WorkerFailed {
+            reason: format!("model build failed: {e}"),
+        })?;
+        let mut engine = Engine::with_store(
+            model,
+            self.curve.clone(),
+            Arc::clone(&self.pool),
+            self.store.clone(),
+        );
+        engine.set_fault_hook(self.faults.clone());
+        Ok(engine)
+    }
+}
+
+/// Sent by a worker thread as it exits: `panic` is `None` for a normal
+/// drain-complete exit, `Some(reason)` when the worker died to a panic.
+struct WorkerExit {
+    index: usize,
+    panic: Option<String>,
+}
+
+fn spawn_worker(
+    index: usize,
+    engine: Engine,
+    queue: &Arc<SharedQueue>,
+    metrics: &Arc<MetricsRegistry>,
+    exit_tx: &mpsc::Sender<WorkerExit>,
+) -> Result<JoinHandle<()>> {
+    let queue = Arc::clone(queue);
+    let metrics = Arc::clone(metrics);
+    let exit_tx = exit_tx.clone();
+    std::thread::Builder::new()
+        .name(format!("drec-serve-worker-{index}"))
+        .spawn(move || {
+            // The loop catches per-batch panics itself; this outer guard
+            // covers panics outside batch execution (queue or metrics
+            // code) so the supervisor always learns why a worker died.
+            let panic = match catch_unwind(AssertUnwindSafe(|| {
+                worker_loop(index, engine, &queue, &metrics)
+            })) {
+                Ok(reason) => reason,
+                Err(payload) => Some(panic_message(payload.as_ref())),
+            };
+            // The supervisor may already be gone during teardown.
+            let _ = exit_tx.send(WorkerExit { index, panic });
+        })
+        .map_err(|e| ServeError::SpawnFailed {
+            reason: e.to_string(),
+        })
 }
 
 /// A running serving runtime. Dropping it without calling
@@ -84,26 +208,24 @@ pub struct ServeRuntime {
     metrics: Arc<MetricsRegistry>,
     next_id: Arc<AtomicU64>,
     spec: Arc<InputSpec>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ServeRuntime {
-    /// Builds `cfg.workers` engines and starts the worker pool.
+    /// Builds `cfg.workers` engines and starts the worker pool plus its
+    /// supervisor.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::WorkerFailed`] if model construction fails.
+    /// Returns [`ServeError::WorkerFailed`] if model construction fails,
+    /// or [`ServeError::SpawnFailed`] if a thread cannot be spawned.
     pub fn start(cfg: ServeConfig) -> Result<ServeRuntime> {
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
-        let per_query = cfg.curve.eval(cfg.max_batch) / cfg.max_batch as f64;
-        let queue = Arc::new(SharedQueue::new(BatcherConfig {
-            max_batch: cfg.max_batch,
-            max_wait: cfg.max_wait,
-            queue_capacity: cfg.queue_capacity,
-            delay_budget: cfg.delay_budget,
-            per_query_service_estimate: per_query,
-        }));
+        let faults = match &cfg.faults {
+            Some(plan) => FaultHook::from_plan(plan),
+            None => FaultHook::disabled(),
+        };
         // One intra-op pool shared by every worker engine; snapshots report
         // its task counts and utilization alongside the worker metrics.
         let pool = drec_par::current();
@@ -112,52 +234,72 @@ impl ServeRuntime {
         let store = cfg
             .store
             .clone()
-            .map(|sc| Arc::new(EmbeddingStore::new(sc)));
-        let metrics = Arc::new(MetricsRegistry::with_pool_and_store(
-            cfg.workers,
-            Arc::clone(&pool),
+            .map(|sc| Arc::new(EmbeddingStore::with_faults(sc, faults.clone())));
+        let ladder = Arc::new(OverloadLadder::new(
+            cfg.degrade,
+            cfg.queue_capacity,
             store.clone(),
         ));
+        let per_query = cfg.curve.eval(cfg.max_batch) / cfg.max_batch as f64;
+        let queue = Arc::new(SharedQueue::new(
+            BatcherConfig {
+                max_batch: cfg.max_batch,
+                max_wait: cfg.max_wait,
+                queue_capacity: cfg.queue_capacity,
+                delay_budget: cfg.delay_budget,
+                per_query_service_estimate: per_query,
+            },
+            Arc::clone(&ladder),
+        ));
+        let mut registry =
+            MetricsRegistry::with_pool_and_store(cfg.workers, Arc::clone(&pool), store.clone());
+        registry.set_ladder(Arc::clone(&ladder));
+        let metrics = Arc::new(registry);
 
-        let mut engines = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers {
-            let model = match &store {
-                Some(s) => cfg
-                    .model
-                    .build_with_store(cfg.scale, cfg.seed, Arc::clone(s)),
-                None => cfg.model.build(cfg.scale, cfg.seed),
+        let factory = EngineFactory {
+            model: cfg.model,
+            scale: cfg.scale,
+            seed: cfg.seed,
+            curve: cfg.curve.clone(),
+            pool,
+            store,
+            faults,
+        };
+
+        let (exit_tx, exit_rx) = mpsc::channel();
+        let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(cfg.workers);
+        let mut spec = None;
+        for index in 0..cfg.workers {
+            let engine = factory.build()?;
+            if spec.is_none() {
+                spec = Some(engine.spec().clone());
             }
-            .map_err(|e| ServeError::WorkerFailed {
-                reason: format!("model build failed: {e}"),
-            })?;
-            engines.push(Engine::with_store(
-                model,
-                cfg.curve.clone(),
-                Arc::clone(&pool),
-                store.clone(),
-            ));
+            handles.push(Some(spawn_worker(
+                index, engine, &queue, &metrics, &exit_tx,
+            )?));
         }
-        let spec = Arc::new(engines[0].spec().clone());
+        let spec = Arc::new(spec.expect("at least one worker"));
 
-        let workers = engines
-            .into_iter()
-            .enumerate()
-            .map(|(index, engine)| {
-                let queue = Arc::clone(&queue);
-                let metrics = Arc::clone(&metrics);
-                std::thread::Builder::new()
-                    .name(format!("drec-serve-worker-{index}"))
-                    .spawn(move || worker_loop(index, engine, &queue, &metrics))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let supervisor = {
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            let scfg = cfg.supervisor;
+            std::thread::Builder::new()
+                .name("drec-serve-supervisor".to_string())
+                .spawn(move || {
+                    supervisor_loop(factory, scfg, handles, exit_rx, exit_tx, &queue, &metrics)
+                })
+                .map_err(|e| ServeError::SpawnFailed {
+                    reason: e.to_string(),
+                })?
+        };
 
         Ok(ServeRuntime {
             queue,
             metrics,
             next_id: Arc::new(AtomicU64::new(0)),
             spec,
-            workers,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -192,11 +334,13 @@ impl ServeRuntime {
     }
 
     /// Graceful shutdown: stop admission, let workers drain every
-    /// accepted request, join the pool, and return the final metrics.
+    /// accepted request, join the pool via the supervisor, and return
+    /// the final metrics — including any worker panic reasons caught
+    /// along the way (see [`MetricsSnapshot::panic_reasons`]).
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
         self.metrics.snapshot()
     }
@@ -204,25 +348,87 @@ impl ServeRuntime {
 
 impl Drop for ServeRuntime {
     fn drop(&mut self) {
-        // If shutdown() already ran, workers is empty and this is a no-op.
+        // If shutdown() already ran, the supervisor is gone and this is a
+        // no-op.
         self.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
 
-fn worker_loop(index: usize, mut engine: Engine, queue: &SharedQueue, metrics: &MetricsRegistry) {
+/// Renders a caught panic payload into a human-readable reason.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Fans a failed batch out: first-failure requests are re-enqueued for
+/// one more attempt; repeat failures surface [`ServeError::WorkerFailed`].
+fn fail_batch(
+    requests: Vec<Request>,
+    reason: &str,
+    queue: &SharedQueue,
+    metrics: &MetricsRegistry,
+) {
+    for mut request in requests {
+        if request.attempts == 0 {
+            request.attempts = 1;
+            metrics.record_retry();
+            queue.requeue(request);
+        } else {
+            metrics.record_failed();
+            let _ = request.reply.send(Err(ServeError::WorkerFailed {
+                reason: reason.to_string(),
+            }));
+        }
+    }
+}
+
+/// Answers every expired request with [`ServeError::DeadlineExceeded`].
+fn expire_requests(expired: Vec<Request>, metrics: &MetricsRegistry) {
+    let now = Instant::now();
+    for request in expired {
+        let late_seconds = request
+            .deadline
+            .map(|d| now.saturating_duration_since(d).as_secs_f64())
+            .unwrap_or(0.0);
+        metrics.record_deadline_exceeded();
+        let _ = request
+            .reply
+            .send(Err(ServeError::DeadlineExceeded { late_seconds }));
+    }
+}
+
+/// The worker body. Returns `None` on a normal drain-complete exit, or
+/// `Some(panic reason)` when a batch panicked (the engine is considered
+/// corrupt and the worker exits for the supervisor to replace).
+fn worker_loop(
+    index: usize,
+    mut engine: Engine,
+    queue: &SharedQueue,
+    metrics: &MetricsRegistry,
+) -> Option<String> {
     while let Some(batch) = queue.next_batch() {
+        expire_requests(batch.expired, metrics);
+        let requests = batch.requests;
+        if requests.is_empty() {
+            continue;
+        }
         let started = Instant::now();
-        match engine.run_batch(&batch) {
-            Ok(exec) => {
+        match catch_unwind(AssertUnwindSafe(|| engine.run_batch(&requests))) {
+            Ok(Ok(exec)) => {
                 let busy = started.elapsed();
                 let done = Instant::now();
-                let batch_size = batch.len();
+                let batch_size = requests.len();
                 metrics.record_batch(index, batch_size, busy);
                 metrics.modelled.record_seconds(exec.modelled_seconds);
-                for (request, outputs) in batch.into_iter().zip(exec.per_request_outputs) {
+                for (request, outputs) in requests.into_iter().zip(exec.per_request_outputs) {
                     let wall = (done - request.submitted_at).as_secs_f64();
                     metrics.latency.record_seconds(wall);
                     // A dropped receiver just means the client went away.
@@ -236,14 +442,91 @@ fn worker_loop(index: usize, mut engine: Engine, queue: &SharedQueue, metrics: &
                     }));
                 }
             }
-            Err(err) => {
-                let reason = err.to_string();
+            Ok(Err(err)) => {
+                // Typed failure: the engine is still sound, keep serving.
                 metrics.record_batch(index, 0, started.elapsed());
-                for request in batch {
-                    let _ = request.reply.send(Err(ServeError::WorkerFailed {
-                        reason: reason.clone(),
-                    }));
+                fail_batch(requests, &err.to_string(), queue, metrics);
+            }
+            Err(payload) => {
+                // Panic: the engine (and any partial execution state) is
+                // suspect. Fail the batch and die; the supervisor will
+                // stand up a replacement with a fresh engine.
+                let reason = panic_message(payload.as_ref());
+                metrics.record_batch(index, 0, started.elapsed());
+                fail_batch(
+                    requests,
+                    &format!("worker panicked: {reason}"),
+                    queue,
+                    metrics,
+                );
+                return Some(reason);
+            }
+        }
+    }
+    None
+}
+
+/// The supervisor body: joins exiting workers, records panic reasons,
+/// restarts panicked workers with fresh engines under a bounded
+/// exponential backoff, and — if the pool ever dies entirely — closes
+/// the queue and answers all queued work with a typed error so no
+/// accepted request is left hanging.
+fn supervisor_loop(
+    factory: EngineFactory,
+    cfg: SupervisorConfig,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+    exit_rx: mpsc::Receiver<WorkerExit>,
+    exit_tx: mpsc::Sender<WorkerExit>,
+    queue: &Arc<SharedQueue>,
+    metrics: &Arc<MetricsRegistry>,
+) {
+    let mut live = handles.len();
+    let mut restarts = 0u32;
+    let mut backoff = cfg.backoff;
+    while live > 0 {
+        let exit = match exit_rx.recv() {
+            Ok(exit) => exit,
+            Err(_) => break, // unreachable: we hold a sender
+        };
+        live -= 1;
+        if let Some(handle) = handles.get_mut(exit.index).and_then(Option::take) {
+            let _ = handle.join();
+        }
+        if let Some(reason) = exit.panic {
+            metrics.record_worker_panic(&reason);
+            // Restart with a fresh engine while budget remains.
+            while restarts < cfg.max_restarts {
+                std::thread::sleep(backoff);
+                backoff = std::cmp::min(backoff.saturating_mul(2), cfg.backoff_cap);
+                restarts += 1;
+                let respawned = factory
+                    .build()
+                    .and_then(|engine| spawn_worker(exit.index, engine, queue, metrics, &exit_tx));
+                match respawned {
+                    Ok(handle) => {
+                        if let Some(slot) = handles.get_mut(exit.index) {
+                            *slot = Some(handle);
+                        }
+                        live += 1;
+                        metrics.record_worker_restart();
+                        break;
+                    }
+                    Err(e) => {
+                        metrics.record_worker_panic(&format!("restart failed: {e}"));
+                    }
                 }
+            }
+        }
+        if live == 0 {
+            // Either a normal drain-complete shutdown (queue closed and
+            // empty — the drain below is a no-op) or an unrecoverable
+            // pool. Both ways, no request may be left hanging.
+            queue.close();
+            for request in queue.drain_all() {
+                metrics.record_failed();
+                let _ = request.reply.send(Err(ServeError::WorkerFailed {
+                    reason: "no live workers: restart budget exhausted".to_string(),
+                }));
             }
         }
     }
@@ -260,7 +543,8 @@ pub struct ServeHandle {
 
 impl ServeHandle {
     /// Validates and submits one sample (batch-dimension-1 inputs in
-    /// graph input order). Returns a [`PendingResponse`] to wait on.
+    /// graph input order) at normal priority with no deadline. Returns a
+    /// [`PendingResponse`] to wait on.
     ///
     /// # Errors
     ///
@@ -269,21 +553,40 @@ impl ServeHandle {
     /// * [`ServeError::Overloaded`] — shed by admission control,
     /// * [`ServeError::ShuttingDown`] — the runtime is draining.
     pub fn submit(&self, inputs: Vec<Value>) -> Result<PendingResponse> {
+        self.submit_with(inputs, SubmitOptions::default())
+    }
+
+    /// Like [`ServeHandle::submit`] with an explicit deadline budget and
+    /// priority class. A request past its deadline is dropped by the
+    /// batcher with [`ServeError::DeadlineExceeded`] instead of
+    /// executing; under queue pressure higher-priority arrivals evict
+    /// queued lower-priority requests before being shed themselves.
+    pub fn submit_with(&self, inputs: Vec<Value>, opts: SubmitOptions) -> Result<PendingResponse> {
         if let Err(e) = validate_single(&self.spec, &inputs) {
             self.metrics.record_invalid();
             return Err(e);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
+        let submitted_at = Instant::now();
         let request = Request {
             id,
             inputs,
-            submitted_at: Instant::now(),
+            submitted_at,
+            deadline: opts.deadline.map(|budget| submitted_at + budget),
+            priority: opts.priority,
+            attempts: 0,
             reply: tx,
         };
         match self.queue.try_push(request) {
-            Ok(()) => {
+            Ok(victim) => {
                 self.metrics.record_accepted();
+                if let Some((victim, err)) = victim {
+                    // The evicted lower-priority request is shed on its
+                    // own reply channel; its waiter sees Overloaded.
+                    self.metrics.record_shed();
+                    let _ = victim.reply.send(Err(err));
+                }
                 Ok(PendingResponse { id, rx })
             }
             Err((_request, err)) => {
@@ -327,6 +630,17 @@ impl PendingResponse {
         match self.rx.recv() {
             Ok(result) => result,
             Err(_) => Err(ServeError::Disconnected),
+        }
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses. `None`
+    /// means the request is still in flight — used by the chaos harness
+    /// to prove no admitted request hangs.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Disconnected)),
         }
     }
 

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use drec_core::serving::LatencyCurve;
 use drec_models::{ModelId, ModelScale};
-use drec_serve::{ServeConfig, ServeError, ServeRuntime};
+use drec_serve::{DegradeConfig, ServeConfig, ServeError, ServeRuntime, SupervisorConfig};
 use drec_workload::QueryGen;
 
 fn config(model: ModelId) -> ServeConfig {
@@ -24,6 +24,9 @@ fn config(model: ModelId) -> ServeConfig {
         delay_budget: Duration::from_secs(3600),
         curve: LatencyCurve::from_points(vec![(1, 1e-4), (1024, 1e-2)]),
         store: None,
+        degrade: DegradeConfig::default(),
+        supervisor: SupervisorConfig::default(),
+        faults: None,
     }
 }
 

@@ -63,9 +63,93 @@ fn exercise(cfg: ServeConfig) {
     assert_eq!(stats.completed, 8);
 }
 
+/// A batch-1 payload whose dense slots are filled with `fill` (NaN/Inf
+/// poison) and whose id slots are valid.
+fn dense_filled_inputs(spec: &drec_models::InputSpec, fill: f32) -> Vec<Value> {
+    spec.slots()
+        .iter()
+        .map(|(_, slot)| match slot {
+            InputSlot::Dense { width } => Value::dense(
+                Tensor::from_vec(vec![fill; *width], &[1, *width]).expect("dense slot shape"),
+            ),
+            InputSlot::Ids { lookups, .. } => {
+                Value::ids(IdList::new(vec![0; *lookups], vec![*lookups as u32]))
+            }
+        })
+        .collect()
+}
+
+/// A batch-1 payload whose id slots carry zero-length segments (no ids
+/// at all) — shape-plausible corruption from an upstream feature
+/// pipeline dropping a user's history.
+fn empty_segment_inputs(spec: &drec_models::InputSpec) -> Vec<Value> {
+    spec.slots()
+        .iter()
+        .map(|(_, slot)| match slot {
+            InputSlot::Dense { width } => Value::dense(
+                Tensor::from_vec(vec![0.0; *width], &[1, *width]).expect("dense slot shape"),
+            ),
+            InputSlot::Ids { .. } => Value::ids(IdList::new(Vec::new(), vec![0])),
+        })
+        .collect()
+}
+
+/// After whatever `submit` did, the workers must all still answer a
+/// burst of valid traffic.
+fn assert_workers_alive(runtime: &ServeRuntime) {
+    let handle = runtime.handle();
+    let mut gen = QueryGen::uniform(17);
+    let pending: Vec<_> = (0..8)
+        .map(|_| handle.submit(gen.batch(runtime.spec(), 1)).unwrap())
+        .collect();
+    for p in pending {
+        let response = p.wait().expect("workers survived the malformed request");
+        assert_eq!(response.outputs.len(), 1);
+    }
+}
+
 #[test]
 fn out_of_range_ids_shed_without_killing_workers() {
     exercise(ServeConfig::tiny(ModelId::Rm1));
+}
+
+#[test]
+fn nan_and_inf_dense_values_do_not_kill_workers() {
+    let runtime = ServeRuntime::start(ServeConfig::tiny(ModelId::Rm1)).unwrap();
+    let handle = runtime.handle();
+    for fill in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let pending = handle
+            .submit(dense_filled_inputs(runtime.spec(), fill))
+            .expect("shape-valid payload admits");
+        // The request must be *answered* — a non-finite payload flows
+        // through the arithmetic (producing non-finite outputs) rather
+        // than wedging or crashing a worker.
+        let answered = pending
+            .wait_timeout(std::time::Duration::from_secs(30))
+            .expect("non-finite payload must not hang the runtime");
+        if let Err(e) = answered {
+            panic!("non-finite payload should execute, got error: {e}");
+        }
+    }
+    assert_workers_alive(&runtime);
+    runtime.shutdown();
+}
+
+#[test]
+fn zero_length_sparse_segments_get_typed_rejection() {
+    let runtime = ServeRuntime::start(ServeConfig::tiny(ModelId::Rm1)).unwrap();
+    let handle = runtime.handle();
+    let err = handle
+        .submit(empty_segment_inputs(runtime.spec()))
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::InvalidInput { .. }),
+        "zero-length segments must be rejected before queueing, got {err}"
+    );
+    assert_workers_alive(&runtime);
+    let stats = runtime.shutdown();
+    assert_eq!(stats.rejected_invalid, 1);
+    assert_eq!(stats.worker_panics, 0);
 }
 
 #[test]

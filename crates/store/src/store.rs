@@ -2,11 +2,26 @@
 //! shards with per-shard interior locks, and the hot-row cache.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+use drec_faultsim::{FaultHook, ReadFault};
 
 use crate::cache::{CachePolicy, HotRowCache};
 use crate::encoding::{RowData, RowEncoding};
+
+/// Recovers the guard from a poisoned lock instead of propagating the
+/// panic. A shard writer that panicked mid-update can leave at most one
+/// partially written row (writes are full-row slice stores), which is
+/// strictly better for a serving system than every subsequent reader of
+/// the shard panicking forever.
+fn read_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Configuration for an [`EmbeddingStore`].
 #[derive(Debug, Clone)]
@@ -155,32 +170,23 @@ impl StoredTable {
 
     fn sum_into(&self, row: u32, acc: &mut [f32]) {
         let (s, r) = self.locate(row);
-        self.shards[s]
-            .read()
-            .expect("table shard poisoned")
-            .sum_into(r, self.dim, acc);
+        read_recover(&self.shards[s]).sum_into(r, self.dim, acc);
     }
 
     fn read_into(&self, row: u32, dst: &mut [f32]) {
         let (s, r) = self.locate(row);
-        self.shards[s]
-            .read()
-            .expect("table shard poisoned")
-            .decode_into(r, self.dim, dst);
+        read_recover(&self.shards[s]).decode_into(r, self.dim, dst);
     }
 
     fn write_row(&self, row: u32, values: &[f32]) {
         let (s, r) = self.locate(row);
-        self.shards[s]
-            .write()
-            .expect("table shard poisoned")
-            .write_row(r, self.dim, values);
+        write_recover(&self.shards[s]).write_row(r, self.dim, values);
     }
 
     fn resident_bytes(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.read().expect("table shard poisoned").resident_bytes())
+            .map(|s| read_recover(s).resident_bytes())
             .sum()
     }
 }
@@ -196,11 +202,26 @@ pub struct EmbeddingStore {
     index: Mutex<HashMap<(u64, u32), usize>>,
     cache: HotRowCache,
     lookups: AtomicU64,
+    faults: FaultHook,
+    /// Degraded mode: serve only from the hot-row cache, skipping cold
+    /// shards (see [`EmbeddingStore::set_cache_only`]).
+    cache_only: AtomicBool,
+    cache_only_skips: AtomicU64,
 }
 
 impl EmbeddingStore {
     /// An empty store with the given configuration.
     pub fn new(cfg: StoreConfig) -> EmbeddingStore {
+        Self::with_faults(cfg, FaultHook::disabled())
+    }
+
+    /// Like [`EmbeddingStore::new`] but threading a fault-injection hook
+    /// through the row-read path: poisoned reads panic (as a genuinely
+    /// poisoned shard lock would) and delayed reads stall — both before
+    /// the shard lock is touched, so the store's real state stays
+    /// consistent. With [`FaultHook::disabled`] this is identical to
+    /// [`EmbeddingStore::new`].
+    pub fn with_faults(cfg: StoreConfig, faults: FaultHook) -> EmbeddingStore {
         let cache = HotRowCache::new(cfg.cache_capacity_rows, cfg.cache_shards, cfg.cache_policy);
         EmbeddingStore {
             cfg,
@@ -208,12 +229,34 @@ impl EmbeddingStore {
             index: Mutex::new(HashMap::new()),
             cache,
             lookups: AtomicU64::new(0),
+            faults,
+            cache_only: AtomicBool::new(false),
+            cache_only_skips: AtomicU64::new(0),
         }
     }
 
     /// The configuration this store was built with.
     pub fn config(&self) -> &StoreConfig {
         &self.cfg
+    }
+
+    /// Enters or leaves cache-only degraded mode. While degraded, row
+    /// lookups that miss the hot-row cache *skip* the cold shard instead
+    /// of decoding it: pooled sums simply omit the row's contribution
+    /// and copies return zeros. Output quality degrades (every skip is
+    /// counted in [`StoreStats::cache_only_skips`]) but lookup latency
+    /// collapses to the cache hit path — the overload ladder uses this
+    /// as the last step before shedding. No-op when the cache is
+    /// disabled (there would be nothing left to serve from).
+    pub fn set_cache_only(&self, degraded: bool) {
+        if self.cache.enabled() {
+            self.cache_only.store(degraded, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the store is in cache-only degraded mode.
+    pub fn cache_only(&self) -> bool {
+        self.cache_only.load(Ordering::Relaxed)
     }
 
     /// Registers a `rows × dim` table under `(namespace, ordinal)`,
@@ -245,10 +288,12 @@ impl EmbeddingStore {
             });
         }
         // Hold the index lock across check-and-insert so two workers
-        // registering the same table race to one winner.
-        let mut index = self.index.lock().expect("store index poisoned");
+        // registering the same table race to one winner. Poisoned locks
+        // are recovered (not propagated): registration must keep working
+        // after a worker panic so the supervisor can rebuild engines.
+        let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(&slot) = index.get(&(namespace, ordinal)) {
-            let tables = self.tables.read().expect("store tables poisoned");
+            let tables = read_recover(&self.tables);
             let existing = &tables[slot];
             if existing.rows != rows || existing.dim != dim {
                 return Err(StoreError::ShapeMismatch {
@@ -267,7 +312,7 @@ impl EmbeddingStore {
             data,
             self.cfg.shards_per_table,
         ));
-        let mut tables = self.tables.write().expect("store tables poisoned");
+        let mut tables = write_recover(&self.tables);
         let slot = tables.len();
         tables.push(table);
         index.insert((namespace, ordinal), slot);
@@ -277,7 +322,7 @@ impl EmbeddingStore {
     /// A cheap, cloneable accessor pinning `handle`'s table so lookups
     /// skip the registry lock entirely.
     pub fn pin(self: &Arc<Self>, handle: TableHandle) -> PinnedTable {
-        let table = Arc::clone(&self.tables.read().expect("store tables poisoned")[handle.0]);
+        let table = Arc::clone(&read_recover(&self.tables)[handle.0]);
         PinnedTable {
             store: Arc::clone(self),
             table,
@@ -287,7 +332,7 @@ impl EmbeddingStore {
 
     /// Point-in-time counters and gauges.
     pub fn stats(&self) -> StoreStats {
-        let tables = self.tables.read().expect("store tables poisoned");
+        let tables = read_recover(&self.tables);
         let mut rows = 0u64;
         let mut resident_bytes = 0u64;
         let mut f32_bytes = 0u64;
@@ -307,6 +352,7 @@ impl EmbeddingStore {
             cache_evictions: self.cache.evictions(),
             cache_resident_rows: self.cache.resident_rows(),
             cache_capacity_rows: self.cache.capacity_rows() as u64,
+            cache_only_skips: self.cache_only_skips.load(Ordering::Relaxed),
         }
     }
 }
@@ -354,13 +400,34 @@ impl PinnedTable {
     ///
     /// Debug-asserts `row < rows` and `acc.len() == dim`; callers
     /// validate indices before reaching the hot path.
+    /// Applies any injected read fault and reports whether a cold-shard
+    /// read should be skipped (cache-only degraded mode).
+    #[inline]
+    fn before_cold_read(&self, row: u32) -> bool {
+        match self.store.faults.on_read() {
+            ReadFault::None => {}
+            ReadFault::Poison { read } => panic!(
+                "faultsim: poisoned read {read} (table {}, row {row})",
+                self.handle.0
+            ),
+            ReadFault::Delay(d) => std::thread::sleep(d),
+        }
+        if self.store.cache_only.load(Ordering::Relaxed) {
+            self.store.cache_only_skips.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
     pub fn sum_row(&self, row: u32, acc: &mut [f32]) {
         debug_assert!((row as usize) < self.table.rows);
         debug_assert_eq!(acc.len(), self.table.dim);
         self.store.lookups.fetch_add(1, Ordering::Relaxed);
         let cache = &self.store.cache;
         if !cache.enabled() {
-            self.table.sum_into(row, acc);
+            if !self.before_cold_read(row) {
+                self.table.sum_into(row, acc);
+            }
             return;
         }
         let key = self.key(row);
@@ -370,6 +437,12 @@ impl PinnedTable {
             }
         });
         if hit.is_none() {
+            // Cache miss: in cache-only degraded mode the row's
+            // contribution is dropped (counted as a quality-loss skip);
+            // otherwise decode from the cold shard and promote.
+            if self.before_cold_read(row) {
+                return;
+            }
             let mut decoded = vec![0.0f32; self.table.dim].into_boxed_slice();
             self.table.read_into(row, &mut decoded);
             for (a, &v) in acc.iter_mut().zip(decoded.iter()) {
@@ -379,19 +452,29 @@ impl PinnedTable {
         }
     }
 
-    /// Copies row `row` into `dst` (length `dim`).
+    /// Copies row `row` into `dst` (length `dim`). In cache-only
+    /// degraded mode a miss fills `dst` with zeros instead of touching
+    /// the cold shard.
     pub fn read_row(&self, row: u32, dst: &mut [f32]) {
         debug_assert!((row as usize) < self.table.rows);
         debug_assert_eq!(dst.len(), self.table.dim);
         self.store.lookups.fetch_add(1, Ordering::Relaxed);
         let cache = &self.store.cache;
         if !cache.enabled() {
-            self.table.read_into(row, dst);
+            if self.before_cold_read(row) {
+                dst.fill(0.0);
+            } else {
+                self.table.read_into(row, dst);
+            }
             return;
         }
         let key = self.key(row);
         let hit = cache.with_row(key, |cached| dst.copy_from_slice(cached));
         if hit.is_none() {
+            if self.before_cold_read(row) {
+                dst.fill(0.0);
+                return;
+            }
             self.table.read_into(row, dst);
             cache.insert(key, dst.to_vec().into_boxed_slice());
         }
@@ -446,6 +529,10 @@ pub struct StoreStats {
     pub cache_resident_rows: u64,
     /// Configured hot-row cache capacity.
     pub cache_capacity_rows: u64,
+    /// Cold-shard reads skipped while in cache-only degraded mode — the
+    /// store's quality-loss counter: each skip dropped one row's
+    /// contribution from a pooled lookup (or zero-filled a copy).
+    pub cache_only_skips: u64,
 }
 
 impl StoreStats {
@@ -457,6 +544,7 @@ impl StoreStats {
             cache_hits: self.cache_hits.saturating_sub(base.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(base.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(base.cache_evictions),
+            cache_only_skips: self.cache_only_skips.saturating_sub(base.cache_only_skips),
             ..self.clone()
         }
     }
@@ -630,6 +718,74 @@ mod tests {
                 actual: 3
             })
         );
+    }
+
+    #[test]
+    fn cache_only_mode_serves_hits_and_skips_cold_shards() {
+        let s = store(StoreConfig {
+            cache_capacity_rows: 8,
+            ..StoreConfig::default()
+        });
+        let data = filled(10, 4);
+        let h = s.register(1, 0, 10, 4, &data).unwrap();
+        let pin = s.pin(h);
+        let mut out = vec![0.0f32; 4];
+        pin.read_row(3, &mut out); // warm row 3
+        s.set_cache_only(true);
+        assert!(s.cache_only());
+
+        // Warm row: still served, bit-identical.
+        pin.read_row(3, &mut out);
+        assert_eq!(out, &data[12..16]);
+        // Cold copy: zero-filled, counted as a quality-loss skip.
+        pin.read_row(7, &mut out);
+        assert_eq!(out, [0.0; 4]);
+        // Cold pooled sum: contribution dropped, accumulator unchanged.
+        let mut acc = vec![1.0f32; 4];
+        pin.sum_row(8, &mut acc);
+        assert_eq!(acc, [1.0; 4]);
+        assert_eq!(s.stats().cache_only_skips, 2);
+
+        // Leaving degraded mode restores full service.
+        s.set_cache_only(false);
+        pin.read_row(7, &mut out);
+        assert_eq!(out, &data[28..32]);
+        assert_eq!(s.stats().cache_only_skips, 2);
+    }
+
+    #[test]
+    fn cache_only_is_refused_without_a_cache() {
+        // With no hot rows to serve from, degrading would zero every
+        // lookup — the store refuses rather than serving garbage.
+        let s = store(StoreConfig {
+            cache_capacity_rows: 0,
+            ..StoreConfig::default()
+        });
+        s.set_cache_only(true);
+        assert!(!s.cache_only());
+    }
+
+    #[test]
+    fn poisoned_read_panics_on_schedule_and_store_recovers() {
+        use drec_faultsim::{FaultHook, FaultPlan};
+        let plan = FaultPlan {
+            poison_every_n_reads: Some(1), // every read panics
+            ..FaultPlan::quiet(5)
+        };
+        let s = Arc::new(EmbeddingStore::with_faults(
+            StoreConfig::default(),
+            FaultHook::from_plan(&plan),
+        ));
+        let h = s.register(1, 0, 10, 4, &filled(10, 4)).unwrap();
+        let pin = s.pin(h);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = vec![0.0f32; 4];
+            pin.read_row(0, &mut out);
+        }));
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("faultsim: poisoned read"), "{msg}");
+        // The panic fired before any lock was taken: stats still work.
+        assert_eq!(s.stats().tables, 1);
     }
 
     #[test]

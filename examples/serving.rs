@@ -29,6 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         delay_budget: Duration::from_millis(50),
         curve: LatencyCurve::from_points(vec![(1, 1e-4), (1024, 1e-2)]),
         store: None,
+        degrade: deeprec::serve::DegradeConfig::default(),
+        supervisor: deeprec::serve::SupervisorConfig::default(),
+        faults: None,
     })?;
 
     // Four concurrent producers, 100 queries each.
