@@ -17,6 +17,7 @@ use drec_bench::BenchArgs;
 use drec_core::serving::{simulate_queue, LatencyCurve, QueueSimConfig};
 use drec_models::{ModelId, ModelScale};
 use drec_ops::Value;
+use drec_sched::{DecisionSnapshot, GpuSchedConfig, ModelSlo, MultiServeRuntime, SchedConfig};
 use drec_serve::{
     EmbeddingStore, Engine, MetricsSnapshot, RowEncoding, ServeConfig, ServeRuntime, StoreConfig,
 };
@@ -26,6 +27,10 @@ const MAX_BATCH: usize = 64;
 /// Zipf exponent for the categorical traffic — production-trace skew
 /// (and what gives the store's hot-row cache something to cache).
 const ZIPF_S: f64 = 1.0;
+/// The one workload seed: a single `QueryGen` seeded with this is
+/// threaded through every load phase (and the multi-model run), so the
+/// whole run consumes one reproducible query stream end to end.
+const WORKLOAD_SEED: u64 = 0xBEEF;
 /// Stated agreement bound on p99 at the sub-saturation load level. A
 /// single-core host timeshares the producer, workers, and OS; ~5 ms
 /// scheduler stalls land in the p99 of a sub-millisecond service, so the
@@ -270,13 +275,23 @@ fn main() {
         ..probe_cfg
     };
 
+    // One seeded generator shared by every phase: phase N's queries pick
+    // up exactly where phase N-1's stopped, so the full run is one
+    // reproducible stream (re-running with the same flags replays the
+    // identical workload — no per-phase reseeding to drift it).
+    println!(
+        "Workload stream: one QueryGen, Zipf(s={ZIPF_S}) categorical traffic, \
+         seed {WORKLOAD_SEED:#x} (calibration uses fixed side seeds 0xCAFE+t / 0xF00D)"
+    );
+    let workload_gen = std::cell::RefCell::new(QueryGen::zipf(WORKLOAD_SEED, ZIPF_S));
+
     // Runs one load level end to end and returns its pair of table rows,
     // the measured/predicted p99 ratio (when the prediction is non-zero),
     // and the sustained completion throughput the runtime achieved.
     let run_level = |label: &'static str, target_qps: f64| {
         println!("Driving {requests_per_level} requests at {target_qps:.0} qps ({label})...");
         let samples: Vec<Vec<Value>> = {
-            let mut gen = QueryGen::zipf(0xBEEF ^ target_qps.to_bits(), ZIPF_S);
+            let mut gen = workload_gen.borrow_mut();
             (0..requests_per_level)
                 .map(|_| gen.batch(&spec, 1))
                 .collect()
@@ -445,4 +460,132 @@ fn main() {
     }
     println!("At overload the analytical queue (no shedding) blows up while");
     println!("admission control holds the measured tail near the delay budget.");
+
+    run_multi_model(args.quick, workers, &workload_gen);
+}
+
+/// Multi-model mode: every model class co-located behind `drec-sched`'s
+/// shared pool (plus its simulated accelerator), continuing the *same*
+/// workload stream the single-model phases consumed — the whole binary
+/// is one reproducible run. Prints the per-model channel table and the
+/// scheduler's batch-size/backend decision histogram.
+fn run_multi_model(quick: bool, workers: usize, workload_gen: &std::cell::RefCell<QueryGen>) {
+    let queries = if quick { 2_000 } else { 8_000 };
+    let slo = Duration::from_millis(400);
+    let mut cfg = SchedConfig::tiny(
+        ModelId::ALL
+            .iter()
+            .map(|&id| ModelSlo::new(id, slo))
+            .collect(),
+    );
+    cfg.cpu_workers = workers;
+    cfg.max_batch = 32;
+    // An on-package accelerator variant (negligible launch + PCIe cost):
+    // at Tiny scale a discrete card never beats the CPU, which would
+    // leave the backend half of the histogram empty.
+    cfg.gpu = Some(GpuSchedConfig {
+        gpu: {
+            let mut gpu = drec_hwsim::GpuModel::t4();
+            gpu.name = "T4-integrated";
+            gpu.launch_overhead_s = 0.5e-6;
+            gpu.min_kernel_s = 0.3e-6;
+            gpu.pcie_latency_s = 0.5e-6;
+            gpu.pcie_bw = 200.0e9;
+            gpu
+        },
+        pcie_extra_s: 2.0e-6,
+        backlog_capacity: 256,
+    });
+    println!(
+        "\nMulti-model co-location: {} models on {} shared CPU worker(s) + \
+         simulated accelerator ({} queries, Tiny scale, Zipf model popularity)",
+        ModelId::ALL.len(),
+        workers,
+        queries
+    );
+    let runtime = MultiServeRuntime::start(cfg).expect("scheduler starts");
+    let handle = runtime.handle();
+    let specs: Vec<_> = ModelId::ALL
+        .iter()
+        .map(|&id| handle.spec(id).expect("co-located").clone())
+        .collect();
+    // Zipf(s) popularity over the model classes, same skew as the row
+    // traffic; the picker is seeded off the workload seed so the model
+    // sequence is as reproducible as the query contents.
+    let weights: Vec<f64> = (1..=ModelId::ALL.len())
+        .map(|rank| 1.0 / (rank as f64).powf(ZIPF_S))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut picker = Rng(WORKLOAD_SEED ^ 0x5C4ED);
+    let mut pending = Vec::with_capacity(queries);
+    let mut shed = 0usize;
+    for _ in 0..queries {
+        let mut roll = picker.next_f64() * total_weight;
+        let mut idx = weights.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if roll < *w {
+                idx = i;
+                break;
+            }
+            roll -= w;
+        }
+        let inputs = workload_gen.borrow_mut().batch(&specs[idx], 1);
+        match handle.submit(ModelId::ALL[idx], inputs) {
+            Ok(p) => pending.push(p),
+            Err(_) => shed += 1,
+        }
+    }
+    for p in pending {
+        let _ = p.wait();
+    }
+    let report = runtime.shutdown();
+
+    let mut table = Table::new(vec![
+        "Model".into(),
+        "Completed".into(),
+        "Shed".into(),
+        "p50".into(),
+        "p99".into(),
+        "Degrade".into(),
+    ]);
+    for m in &report.snapshot.models {
+        table.row(vec![
+            m.name.clone(),
+            m.completed.to_string(),
+            m.shed.to_string(),
+            fmt_ms(m.p50_seconds),
+            fmt_ms(m.p99_seconds),
+            format!("{:?}", m.overload_level),
+        ]);
+    }
+    println!("{}", table.render());
+    if shed > 0 {
+        println!("  ({shed} arrivals shed at admission)");
+    }
+    println!("Scheduler decisions (batches per power-of-two size bucket):");
+    for d in &report.decisions {
+        println!(
+            "  {:<8} crossover {:>4}  cpu [{}]  gpu [{}]  spills {}",
+            d.model,
+            d.crossover.map_or("none".into(), |b| b.to_string()),
+            fmt_hist(&d.cpu_size_hist),
+            fmt_hist(&d.gpu_size_hist),
+            d.gpu_spills
+        );
+    }
+}
+
+/// Renders a non-empty-bucket histogram like `1:3 8-15:2 32-63:41`.
+fn fmt_hist(hist: &[u64]) -> String {
+    let parts: Vec<String> = hist
+        .iter()
+        .enumerate()
+        .filter(|(_, count)| **count > 0)
+        .map(|(i, count)| format!("{}:{}", DecisionSnapshot::bucket_label(i), count))
+        .collect();
+    if parts.is_empty() {
+        "-".to_string()
+    } else {
+        parts.join(" ")
+    }
 }

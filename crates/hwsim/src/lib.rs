@@ -21,6 +21,7 @@
 //! [`Platform::gtx_1080_ti`], and [`Platform::t4`].
 
 mod cpu;
+mod dispatch;
 mod energy;
 mod gpu;
 mod isa;
@@ -28,6 +29,7 @@ mod platform;
 mod report;
 
 pub use cpu::{CpuModel, CpuSim};
+pub use dispatch::DispatchOracle;
 pub use energy::{energy, EnergyReport};
 pub use gpu::GpuModel;
 pub use isa::{synthesize_instructions, InstCounts};

@@ -1,0 +1,1139 @@
+//! The multi-model co-location runtime.
+//!
+//! ```text
+//!                      ┌─ SharedQueue[NCF]  ─┐    poll    ┌─ CPU worker 0..W ─ Engine per model
+//!  MultiServeHandle ──▶│  SharedQueue[RM1]   │◀───────────┤   (route + run CPU batches inline,
+//!   (admission per     │  …                  │            │    forward GPU batches)
+//!    model; typed      └─ SharedQueue[DIEN] ─┘            └──▶ GPU worker ──── Engine per model
+//!    NoBackendAvailable       ▲    all queues pulse one         (functional execution, roofline-
+//!    when saturated)          └─── DispatchSignal                modelled dispatch latency)
+//! ```
+//!
+//! Every model keeps its own [`SharedQueue`] — its own admission
+//! control, deadlines, priorities, and overload ladder, so degradation
+//! composes per model — while all queues share one worker pool. There is
+//! no dispatcher thread: each CPU worker *is* a dispatcher. Workers park
+//! on the shared [`DispatchSignal`], wake when any queue turns ready,
+//! poll every lane (non-blocking [`SharedQueue::try_next_batch`],
+//! starting at a per-worker offset so the hottest lane has no permanent
+//! priority), and route each released batch to the backend chosen by the
+//! model's calibrated [`ModelProfile`]: batches at or past the CPU/GPU
+//! crossover are forwarded to the simulated accelerator, the rest
+//! execute inline on the worker that took them — no cross-thread
+//! hand-off on the CPU fast path.
+//!
+//! The GPU backend executes batches *functionally* (same kernels, same
+//! arithmetic — results stay bit-identical to a single-model engine)
+//! while its latency is *modelled* by the roofline dispatch oracle, the
+//! same two-clock discipline `drec-serve` uses for CPU workers. When a
+//! model's CPU queue is over budget, admission spills the arrival
+//! directly to the accelerator backlog instead of shedding; only when
+//! that backlog is also full does the caller see the typed
+//! [`ServeError::NoBackendAvailable`] — shed, never hung.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use drec_hwsim::{GpuModel, Platform};
+use drec_models::{InputSpec, ModelId, ModelScale};
+use drec_ops::Value;
+use drec_par::ParPool;
+use drec_serve::{
+    validate_single, BatchPoll, BatcherConfig, DegradeConfig, DispatchSignal, Engine,
+    MetricsRegistry, MetricsSnapshot, ModelChannelMetrics, OverloadLadder, PendingResponse,
+    Request, Response, Result, ServeError, SharedQueue, TakenBatch,
+};
+
+use crate::profile::{ModelProfile, ProfileConfig};
+use crate::tuner::{ModelTuner, TunerConfig, TunerStep};
+
+/// Which backend a batch executed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The shared CPU worker pool (real execution on this machine).
+    Cpu,
+    /// The simulated accelerator: functional execution on the dedicated
+    /// GPU worker, latency modelled by the roofline dispatch oracle.
+    Gpu,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Cpu => "cpu",
+            Backend::Gpu => "gpu",
+        })
+    }
+}
+
+/// Number of power-of-two batch-size buckets in decision histograms
+/// (bucket `i` covers batches `[2^i, 2^(i+1))`).
+const DECISION_BUCKETS: usize = 16;
+
+/// Lock-free per-model counters of the scheduler's routing decisions.
+#[derive(Debug, Default)]
+struct DecisionStats {
+    cpu_batches: AtomicU64,
+    cpu_queries: AtomicU64,
+    gpu_batches: AtomicU64,
+    gpu_queries: AtomicU64,
+    gpu_spills: AtomicU64,
+    cpu_hist: [AtomicU64; DECISION_BUCKETS],
+    gpu_hist: [AtomicU64; DECISION_BUCKETS],
+}
+
+fn size_bucket(batch: usize) -> usize {
+    ((usize::BITS - 1 - batch.max(1).leading_zeros()) as usize).min(DECISION_BUCKETS - 1)
+}
+
+impl DecisionStats {
+    fn record(&self, backend: Backend, batch: usize) {
+        let bucket = size_bucket(batch);
+        match backend {
+            Backend::Cpu => {
+                self.cpu_batches.fetch_add(1, Ordering::Relaxed);
+                self.cpu_queries.fetch_add(batch as u64, Ordering::Relaxed);
+                self.cpu_hist[bucket].fetch_add(1, Ordering::Relaxed);
+            }
+            Backend::Gpu => {
+                self.gpu_batches.fetch_add(1, Ordering::Relaxed);
+                self.gpu_queries.fetch_add(batch as u64, Ordering::Relaxed);
+                self.gpu_hist[bucket].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn record_spill(&self) {
+        self.gpu_spills.fetch_add(1, Ordering::Relaxed);
+        // A spill is a batch-of-1 GPU dispatch.
+        self.record(Backend::Gpu, 1);
+    }
+}
+
+/// Point-in-time copy of one model's routing decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionSnapshot {
+    /// Model name.
+    pub model: String,
+    /// The model's calibrated CPU/GPU crossover batch (`None`: CPU
+    /// always wins, or offload disabled).
+    pub crossover: Option<usize>,
+    /// Batches routed to the CPU pool.
+    pub cpu_batches: u64,
+    /// Queries inside those batches.
+    pub cpu_queries: u64,
+    /// Batches dispatched to the accelerator (including spills).
+    pub gpu_batches: u64,
+    /// Queries inside those batches.
+    pub gpu_queries: u64,
+    /// Overflow queries spilled to the accelerator at admission because
+    /// the CPU queue was over budget.
+    pub gpu_spills: u64,
+    /// Power-of-two batch-size histogram of CPU routings (bucket `i`
+    /// counts batches in `[2^i, 2^(i+1))`).
+    pub cpu_size_hist: Vec<u64>,
+    /// Same histogram for accelerator dispatches.
+    pub gpu_size_hist: Vec<u64>,
+}
+
+impl DecisionSnapshot {
+    /// Human label for histogram bucket `i` ("1", "2-3", "4-7", …).
+    pub fn bucket_label(i: usize) -> String {
+        let lo = 1usize << i;
+        if i == 0 {
+            "1".to_string()
+        } else {
+            format!("{}-{}", lo, (lo << 1) - 1)
+        }
+    }
+}
+
+/// One model to co-locate, with its SLO target.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelSlo {
+    /// The model.
+    pub id: ModelId,
+    /// p99 end-to-end latency budget the tuner defends.
+    pub slo: Duration,
+}
+
+impl ModelSlo {
+    /// Convenience constructor.
+    pub fn new(id: ModelId, slo: Duration) -> Self {
+        ModelSlo { id, slo }
+    }
+}
+
+/// Accelerator configuration for the scheduler.
+#[derive(Debug, Clone)]
+pub struct GpuSchedConfig {
+    /// The GPU the dispatch oracle prices offloads on.
+    pub gpu: GpuModel,
+    /// Extra fixed per-dispatch PCIe transfer cost, seconds (see
+    /// [`drec_hwsim::DispatchOracle`]).
+    pub pcie_extra_s: f64,
+    /// Admission-spill backlog cap: queries the accelerator path will
+    /// hold beyond what the dispatcher routes. Past it, saturated models
+    /// shed with [`ServeError::NoBackendAvailable`].
+    pub backlog_capacity: usize,
+}
+
+impl Default for GpuSchedConfig {
+    fn default() -> Self {
+        GpuSchedConfig {
+            gpu: GpuModel::t4(),
+            pcie_extra_s: 20e-6,
+            backlog_capacity: 256,
+        }
+    }
+}
+
+/// Configuration for [`MultiServeRuntime::start`].
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// The co-located models and their SLOs. Must be non-empty with
+    /// unique model ids.
+    pub models: Vec<ModelSlo>,
+    /// Scale every model is built at.
+    pub scale: ModelScale,
+    /// Parameter seed shared by all engines (replicas agree).
+    pub seed: u64,
+    /// CPU worker threads shared by all models.
+    pub cpu_workers: usize,
+    /// Largest coalesced batch per model.
+    pub max_batch: usize,
+    /// Longest the oldest queued request waits for co-travellers.
+    pub max_wait: Duration,
+    /// Per-model queue capacity.
+    pub queue_capacity: usize,
+    /// Per-model admission budget on estimated queueing delay.
+    pub delay_budget: Duration,
+    /// Per-model overload-ladder thresholds.
+    pub degrade: DegradeConfig,
+    /// Accelerator path; `None` pins everything to the CPU pool.
+    pub gpu: Option<GpuSchedConfig>,
+    /// CPU platform model the placement calibration prices CPU costs on.
+    pub cpu_platform: Platform,
+    /// Batch sizes traced per model at calibration.
+    pub calibration_batches: Vec<usize>,
+    /// Hill-climbing tuner; `None` leaves caps and pool tiers fixed.
+    pub tuner: Option<TunerConfig>,
+    /// Record every executed batch's inputs and outputs for bit-identity
+    /// replay (see [`crate::replay_records`]). Costs memory; benches and
+    /// tests only.
+    pub record_batches: bool,
+}
+
+impl SchedConfig {
+    /// A small, fast configuration for tests: tiny models, 2 CPU
+    /// workers, accelerator enabled, tuner on.
+    pub fn tiny(models: Vec<ModelSlo>) -> Self {
+        SchedConfig {
+            models,
+            scale: ModelScale::Tiny,
+            seed: 7,
+            cpu_workers: 2,
+            max_batch: 16,
+            max_wait: Duration::ZERO,
+            queue_capacity: 1024,
+            delay_budget: Duration::from_secs(60),
+            degrade: DegradeConfig::default(),
+            gpu: Some(GpuSchedConfig::default()),
+            cpu_platform: Platform::broadwell(),
+            calibration_batches: vec![1, 8],
+            tuner: Some(TunerConfig::default()),
+            record_batches: false,
+        }
+    }
+}
+
+/// One recorded batch execution, for offline bit-identity replay.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// The model the batch belonged to.
+    pub model: ModelId,
+    /// Where it ran.
+    pub backend: Backend,
+    /// Per-request inputs, in batch order.
+    pub inputs: Vec<Vec<Value>>,
+    /// Per-request outputs the runtime returned, in batch order.
+    pub outputs: Vec<Vec<Value>>,
+}
+
+/// Everything [`MultiServeRuntime::shutdown`] returns.
+#[derive(Debug)]
+pub struct SchedReport {
+    /// Final pool-wide and per-model metrics.
+    pub snapshot: MetricsSnapshot,
+    /// Per-model routing decisions.
+    pub decisions: Vec<DecisionSnapshot>,
+    /// Recorded batches (empty unless [`SchedConfig::record_batches`]).
+    pub records: Vec<BatchRecord>,
+}
+
+/// Per-model serving lane: queue, ladder, metrics channel, calibrated
+/// profile, decision counters, and the tuner-controlled pool tier.
+struct Lane {
+    id: ModelId,
+    spec: InputSpec,
+    queue: Arc<SharedQueue>,
+    #[allow(dead_code)] // reachable via queue.ladder(); kept for clarity
+    ladder: Arc<OverloadLadder>,
+    channel: Arc<ModelChannelMetrics>,
+    profile: ModelProfile,
+    decisions: DecisionStats,
+    pool_tier: AtomicUsize,
+}
+
+/// A routed unit of work: one coalesced batch bound for one backend.
+struct WorkItem {
+    lane: usize,
+    backend: Backend,
+    requests: Vec<Request>,
+}
+
+/// Shared state the worker loops need.
+struct WorkerShared {
+    lanes: Arc<Vec<Lane>>,
+    registry: Arc<MetricsRegistry>,
+    pools: Vec<Arc<ParPool>>,
+    records: Option<Arc<Mutex<Vec<BatchRecord>>>>,
+    scale: ModelScale,
+    seed: u64,
+}
+
+impl WorkerShared {
+    fn build_engine(&self, lane: &Lane) -> Result<Engine> {
+        let model = lane
+            .id
+            .build(self.scale, self.seed)
+            .map_err(|e| ServeError::WorkerFailed {
+                reason: format!("model build failed: {e}"),
+            })?;
+        Ok(Engine::with_pool(
+            model,
+            lane.profile.cpu_curve.clone(),
+            Arc::clone(&self.pools[0]),
+        ))
+    }
+
+    fn build_all_engines(&self) -> Result<Vec<Engine>> {
+        self.lanes
+            .iter()
+            .map(|lane| self.build_engine(lane))
+            .collect()
+    }
+}
+
+/// The running co-location scheduler.
+pub struct MultiServeRuntime {
+    lanes: Arc<Vec<Lane>>,
+    registry: Arc<MetricsRegistry>,
+    next_id: Arc<AtomicU64>,
+    gpu_tx: Option<mpsc::Sender<WorkItem>>,
+    gpu_backlog: Arc<AtomicUsize>,
+    backlog_capacity: usize,
+    shutting_down: Arc<AtomicBool>,
+    records: Option<Arc<Mutex<Vec<BatchRecord>>>>,
+    workers: Vec<JoinHandle<()>>,
+    tuner: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MultiServeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiServeRuntime")
+            .field("models", &self.lanes.len())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MultiServeRuntime {
+    /// Calibrates every model's placement profile, builds the per-model
+    /// lanes, and starts the shared worker pool, dispatcher, and tuner.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerFailed`] when a model fails to build,
+    /// [`ServeError::SpawnFailed`] when a thread cannot be spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or duplicate model list, or zero workers.
+    pub fn start(cfg: SchedConfig) -> Result<MultiServeRuntime> {
+        assert!(!cfg.models.is_empty(), "need at least one model");
+        assert!(cfg.cpu_workers >= 1, "need at least one CPU worker");
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        for (i, m) in cfg.models.iter().enumerate() {
+            assert!(
+                !cfg.models[..i].iter().any(|other| other.id == m.id),
+                "duplicate model {} in SchedConfig",
+                m.id.name()
+            );
+        }
+
+        let tuner_cfg = cfg.tuner.clone().unwrap_or_default();
+        let pools: Vec<Arc<ParPool>> = if tuner_cfg.pool_widths.is_empty() {
+            vec![ParPool::new(1)]
+        } else {
+            tuner_cfg
+                .pool_widths
+                .iter()
+                .map(|&w| ParPool::new(w))
+                .collect()
+        };
+
+        let signal = Arc::new(DispatchSignal::new());
+        let gpu_enabled = cfg.gpu.is_some();
+        let total_workers = cfg.cpu_workers + usize::from(gpu_enabled);
+        let mut registry = MetricsRegistry::with_pool(total_workers, Arc::clone(&pools[0]));
+
+        let profile_cfg = ProfileConfig {
+            calibration_batches: cfg.calibration_batches.clone(),
+            seed: cfg.seed ^ 0x5EED_CA11,
+            cpu: cfg.cpu_platform.clone(),
+            gpu: cfg.gpu.as_ref().map(|g| g.gpu),
+            pcie_extra_s: cfg.gpu.as_ref().map_or(0.0, |g| g.pcie_extra_s),
+            max_batch: cfg.max_batch,
+        };
+
+        let mut lanes = Vec::with_capacity(cfg.models.len());
+        for slo in &cfg.models {
+            let mut model =
+                slo.id
+                    .build(cfg.scale, cfg.seed)
+                    .map_err(|e| ServeError::WorkerFailed {
+                        reason: format!("model build failed: {e}"),
+                    })?;
+            let profile = ModelProfile::calibrate(&mut model, &profile_cfg);
+            let spec = model.spec().clone();
+            drop(model);
+            let ladder = Arc::new(OverloadLadder::new(cfg.degrade, cfg.queue_capacity, None));
+            let per_query = profile.cpu_curve.eval(cfg.max_batch) / cfg.max_batch as f64;
+            let queue = Arc::new(SharedQueue::with_signal(
+                BatcherConfig {
+                    max_batch: cfg.max_batch,
+                    max_wait: cfg.max_wait,
+                    queue_capacity: cfg.queue_capacity,
+                    delay_budget: cfg.delay_budget,
+                    per_query_service_estimate: per_query,
+                },
+                Arc::clone(&ladder),
+                Some(Arc::clone(&signal)),
+            ));
+            let channel = registry.register_model(
+                slo.id.name(),
+                Some(Arc::clone(&queue)),
+                Some(Arc::clone(&ladder)),
+            );
+            lanes.push(Lane {
+                id: slo.id,
+                spec,
+                queue,
+                ladder,
+                channel,
+                profile,
+                decisions: DecisionStats::default(),
+                pool_tier: AtomicUsize::new(0),
+            });
+        }
+        let lanes = Arc::new(lanes);
+        let registry = Arc::new(registry);
+        let records = cfg.record_batches.then(|| Arc::new(Mutex::new(Vec::new())));
+
+        let shared = Arc::new(WorkerShared {
+            lanes: Arc::clone(&lanes),
+            registry: Arc::clone(&registry),
+            pools,
+            records: records.clone(),
+            scale: cfg.scale,
+            seed: cfg.seed,
+        });
+
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let gpu_backlog = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::with_capacity(total_workers);
+
+        // The accelerator: one dedicated worker draining its own channel.
+        let (gpu_tx, backlog_capacity) = match &cfg.gpu {
+            Some(gcfg) => {
+                let (tx, rx) = mpsc::channel::<WorkItem>();
+                let engines = shared.build_all_engines()?;
+                let shared_g = Arc::clone(&shared);
+                let backlog = Arc::clone(&gpu_backlog);
+                let flag = Arc::clone(&shutting_down);
+                let index = cfg.cpu_workers;
+                workers.push(spawn_thread("drec-sched-gpu".to_string(), move || {
+                    gpu_worker_loop(index, engines, rx, &shared_g, &backlog, &flag)
+                })?);
+                (Some(tx), gcfg.backlog_capacity)
+            }
+            None => (None, 0),
+        };
+
+        // CPU pool: every worker is its own dispatcher, parked on the
+        // shared signal and polling all lanes when it wakes.
+        for index in 0..cfg.cpu_workers {
+            let engines = shared.build_all_engines()?;
+            let shared = Arc::clone(&shared);
+            let signal = Arc::clone(&signal);
+            let gpu_tx = gpu_tx.clone();
+            let backlog = Arc::clone(&gpu_backlog);
+            workers.push(spawn_thread(
+                format!("drec-sched-cpu-{index}"),
+                move || {
+                    cpu_worker_loop(
+                        index,
+                        engines,
+                        &signal,
+                        &shared,
+                        gpu_tx,
+                        &backlog,
+                        backlog_capacity,
+                    )
+                },
+            )?);
+        }
+
+        let tuner = match &cfg.tuner {
+            Some(tcfg) => {
+                let tcfg = tcfg.clone();
+                let lanes = Arc::clone(&lanes);
+                let flag = Arc::clone(&shutting_down);
+                let slos: Vec<f64> = cfg.models.iter().map(|m| m.slo.as_secs_f64()).collect();
+                let max_batch = cfg.max_batch;
+                Some(spawn_thread("drec-sched-tuner".to_string(), move || {
+                    tuner_loop(&tcfg, &lanes, &slos, max_batch, &flag)
+                })?)
+            }
+            None => None,
+        };
+
+        Ok(MultiServeRuntime {
+            lanes,
+            registry,
+            next_id: Arc::new(AtomicU64::new(0)),
+            gpu_tx,
+            gpu_backlog,
+            backlog_capacity,
+            shutting_down,
+            records,
+            workers,
+            tuner,
+        })
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> MultiServeHandle {
+        MultiServeHandle {
+            lanes: Arc::clone(&self.lanes),
+            registry: Arc::clone(&self.registry),
+            next_id: Arc::clone(&self.next_id),
+            gpu_tx: self.gpu_tx.clone(),
+            gpu_backlog: Arc::clone(&self.gpu_backlog),
+            backlog_capacity: self.backlog_capacity,
+            shutting_down: Arc::clone(&self.shutting_down),
+        }
+    }
+
+    /// The live metrics registry (per-model channels included).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Point-in-time metrics summary.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Point-in-time routing-decision summary, one entry per model.
+    pub fn decisions(&self) -> Vec<DecisionSnapshot> {
+        self.lanes.iter().map(snapshot_decisions).collect()
+    }
+
+    /// The input contract of `model`, when co-located here.
+    pub fn spec(&self, model: ModelId) -> Option<&InputSpec> {
+        self.lanes.iter().find(|l| l.id == model).map(|l| &l.spec)
+    }
+
+    /// Graceful shutdown: stop admission on every lane, drain all queued
+    /// work through the pool, join every thread, and report final
+    /// metrics, decisions, and (when recording) executed batches.
+    pub fn shutdown(mut self) -> SchedReport {
+        self.teardown();
+        SchedReport {
+            snapshot: self.registry.snapshot(),
+            decisions: self.lanes.iter().map(snapshot_decisions).collect(),
+            records: self
+                .records
+                .take()
+                .map(|r| {
+                    std::mem::take(&mut *r.lock().unwrap_or_else(|poisoned| poisoned.into_inner()))
+                })
+                .unwrap_or_default(),
+        }
+    }
+
+    fn teardown(&mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for lane in self.lanes.iter() {
+            lane.queue.close();
+        }
+        // Drop the runtime's accelerator sender so the GPU worker's
+        // channel disconnects once the CPU workers' clones and any
+        // outstanding handles are gone too.
+        self.gpu_tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(tuner) = self.tuner.take() {
+            let _ = tuner.join();
+        }
+        // Drain guarantee: a request requeued after the CPU pool exited
+        // (transient GPU batch failure during drain) would otherwise
+        // strand. Answer any leftovers with a typed error.
+        for lane in self.lanes.iter() {
+            for request in lane.queue.drain_all() {
+                self.registry.record_failed();
+                request.respond(Err(ServeError::WorkerFailed {
+                    reason: "runtime shut down before retry could run".to_string(),
+                }));
+            }
+        }
+    }
+}
+
+impl Drop for MultiServeRuntime {
+    fn drop(&mut self) {
+        // No-op when shutdown() already ran.
+        self.teardown();
+    }
+}
+
+fn snapshot_decisions(lane: &Lane) -> DecisionSnapshot {
+    let d = &lane.decisions;
+    DecisionSnapshot {
+        model: lane.id.name().to_string(),
+        crossover: lane.profile.crossover,
+        cpu_batches: d.cpu_batches.load(Ordering::Relaxed),
+        cpu_queries: d.cpu_queries.load(Ordering::Relaxed),
+        gpu_batches: d.gpu_batches.load(Ordering::Relaxed),
+        gpu_queries: d.gpu_queries.load(Ordering::Relaxed),
+        gpu_spills: d.gpu_spills.load(Ordering::Relaxed),
+        cpu_size_hist: d
+            .cpu_hist
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect(),
+        gpu_size_hist: d
+            .gpu_hist
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
+
+fn spawn_thread(name: String, body: impl FnOnce() + Send + 'static) -> Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(body)
+        .map_err(|e| ServeError::SpawnFailed {
+            reason: e.to_string(),
+        })
+}
+
+/// Cloneable client handle: submit requests to any co-located model.
+#[derive(Clone)]
+pub struct MultiServeHandle {
+    lanes: Arc<Vec<Lane>>,
+    registry: Arc<MetricsRegistry>,
+    next_id: Arc<AtomicU64>,
+    gpu_tx: Option<mpsc::Sender<WorkItem>>,
+    gpu_backlog: Arc<AtomicUsize>,
+    backlog_capacity: usize,
+    shutting_down: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for MultiServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiServeHandle")
+            .field("models", &self.lanes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MultiServeHandle {
+    /// Validates and submits one sample for `model` with default
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiServeHandle::submit_with`].
+    pub fn submit(&self, model: ModelId, inputs: Vec<Value>) -> Result<PendingResponse> {
+        self.submit_with(model, inputs, drec_serve::SubmitOptions::default())
+    }
+
+    /// Validates and submits one sample for `model` with an explicit
+    /// deadline budget and priority class.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidInput`] — model not co-located here, or
+    ///   payload mismatch,
+    /// * [`ServeError::NoBackendAvailable`] — the model's CPU queue is
+    ///   over budget *and* the accelerator backlog (if any) is full,
+    /// * [`ServeError::ShuttingDown`] — the runtime is draining.
+    pub fn submit_with(
+        &self,
+        model: ModelId,
+        inputs: Vec<Value>,
+        opts: drec_serve::SubmitOptions,
+    ) -> Result<PendingResponse> {
+        let Some(lane_idx) = self.lanes.iter().position(|l| l.id == model) else {
+            self.registry.record_invalid();
+            return Err(ServeError::InvalidInput {
+                slot: usize::MAX,
+                expected: "a co-located model".to_string(),
+                got: model.name().to_string(),
+            });
+        };
+        let lane = &self.lanes[lane_idx];
+        if let Err(e) = validate_single(&lane.spec, &inputs) {
+            self.registry.record_invalid();
+            return Err(e);
+        }
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (request, rx) = Request::new(id, inputs, opts);
+        match lane.queue.try_push(request) {
+            Ok(victim) => {
+                self.registry.record_accepted();
+                if let Some((victim, err)) = victim {
+                    self.registry.record_shed();
+                    lane.channel.record_shed();
+                    victim.respond(Err(err));
+                }
+                Ok(PendingResponse::from_parts(id, rx))
+            }
+            Err((request, ServeError::Overloaded { depth, .. })) => {
+                // CPU queue over budget: spill to the accelerator
+                // backlog when one exists and has room.
+                let gpu_depth = self.gpu_backlog.load(Ordering::Relaxed);
+                if let Some(gpu_tx) = &self.gpu_tx {
+                    if gpu_depth < self.backlog_capacity {
+                        self.gpu_backlog.fetch_add(1, Ordering::Relaxed);
+                        lane.decisions.record_spill();
+                        if gpu_tx
+                            .send(WorkItem {
+                                lane: lane_idx,
+                                backend: Backend::Gpu,
+                                requests: vec![request],
+                            })
+                            .is_ok()
+                        {
+                            self.registry.record_accepted();
+                            return Ok(PendingResponse::from_parts(id, rx));
+                        }
+                        self.gpu_backlog.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                self.registry.record_shed();
+                lane.channel.record_shed();
+                Err(ServeError::NoBackendAvailable {
+                    model: model.name().to_string(),
+                    cpu_depth: depth,
+                    gpu_depth,
+                })
+            }
+            Err((_request, err)) => {
+                self.registry.record_shed();
+                lane.channel.record_shed();
+                Err(err)
+            }
+        }
+    }
+
+    /// The input contract of `model`, when co-located here.
+    pub fn spec(&self, model: ModelId) -> Option<&InputSpec> {
+        self.lanes.iter().find(|l| l.id == model).map(|l| &l.spec)
+    }
+
+    /// Live metrics snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+/// Answers expired requests and routes the executable remainder: batches
+/// past the crossover go to the accelerator channel; the rest — and any
+/// overflow or teardown fallback — are returned for the calling CPU
+/// worker to execute inline.
+fn route_batch(
+    lane_idx: usize,
+    lane: &Lane,
+    batch: TakenBatch,
+    registry: &MetricsRegistry,
+    gpu_tx: Option<&mpsc::Sender<WorkItem>>,
+    gpu_backlog: &AtomicUsize,
+    backlog_capacity: usize,
+) -> Option<WorkItem> {
+    let now = Instant::now();
+    for request in batch.expired {
+        let late_seconds = request
+            .deadline
+            .map(|d| now.saturating_duration_since(d).as_secs_f64())
+            .unwrap_or(0.0);
+        registry.record_deadline_exceeded();
+        request.respond(Err(ServeError::DeadlineExceeded { late_seconds }));
+    }
+    let requests = batch.requests;
+    if requests.is_empty() {
+        return None;
+    }
+    let mut backend = lane.profile.backend_for(requests.len());
+    if backend == Backend::Gpu {
+        // Honour the accelerator backlog cap; a saturated device pushes
+        // work back onto the CPU pool rather than queueing unboundedly.
+        let has_room = gpu_tx.is_some() && gpu_backlog.load(Ordering::Relaxed) < backlog_capacity;
+        if !has_room {
+            backend = Backend::Cpu;
+        }
+    }
+    lane.decisions.record(backend, requests.len());
+    let item = WorkItem {
+        lane: lane_idx,
+        backend,
+        requests,
+    };
+    if item.backend == Backend::Gpu {
+        gpu_backlog.fetch_add(1, Ordering::Relaxed);
+        match gpu_tx.expect("has_room checked").send(item) {
+            Ok(()) => return None,
+            Err(mpsc::SendError(item)) => {
+                // The accelerator worker died; fall back to CPU.
+                gpu_backlog.fetch_sub(1, Ordering::Relaxed);
+                return Some(item);
+            }
+        }
+    }
+    Some(item)
+}
+
+/// Executes one routed batch on `engine`, delivering responses, metrics,
+/// retries, and (when enabled) batch records. Returns `false` when the
+/// engine panicked and needs a rebuild.
+fn execute_item(worker: usize, engine: &mut Engine, item: WorkItem, shared: &WorkerShared) -> bool {
+    let lane = &shared.lanes[item.lane];
+    // Apply the tuner's intra-op width choice for this model.
+    let tier = lane
+        .pool_tier
+        .load(Ordering::Relaxed)
+        .min(shared.pools.len() - 1);
+    if !Arc::ptr_eq(engine.pool(), &shared.pools[tier]) {
+        engine.set_pool(Arc::clone(&shared.pools[tier]));
+    }
+    let requests = item.requests;
+    let started = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| engine.run_batch(&requests))) {
+        Ok(Ok(exec)) => {
+            let busy = started.elapsed();
+            let done = Instant::now();
+            let batch = requests.len();
+            let modelled = lane.profile.modelled_seconds(item.backend, batch);
+            shared.registry.record_batch(worker, batch, busy);
+            shared.registry.modelled.record_seconds(modelled);
+            if let Some(records) = &shared.records {
+                records
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .push(BatchRecord {
+                        model: lane.id,
+                        backend: item.backend,
+                        inputs: requests.iter().map(|r| r.inputs.clone()).collect(),
+                        outputs: exec.per_request_outputs.clone(),
+                    });
+            }
+            for (request, outputs) in requests.into_iter().zip(exec.per_request_outputs) {
+                let wall = (done - request.submitted_at).as_secs_f64();
+                shared.registry.latency.record_seconds(wall);
+                lane.channel
+                    .record_completed(Duration::from_secs_f64(wall.max(0.0)));
+                request.respond(Ok(Response {
+                    id: request.id,
+                    outputs,
+                    batch,
+                    wall_seconds: wall,
+                    modelled_seconds: modelled,
+                    worker,
+                }));
+            }
+            true
+        }
+        Ok(Err(err)) => {
+            shared.registry.record_batch(worker, 0, started.elapsed());
+            retry_or_fail(requests, &err.to_string(), lane, shared);
+            true
+        }
+        Err(payload) => {
+            let reason = panic_message(payload.as_ref());
+            shared.registry.record_batch(worker, 0, started.elapsed());
+            shared.registry.record_worker_panic(&reason);
+            retry_or_fail(
+                requests,
+                &format!("worker panicked: {reason}"),
+                lane,
+                shared,
+            );
+            false
+        }
+    }
+}
+
+/// First failure re-enqueues for one more attempt; repeats surface
+/// [`ServeError::WorkerFailed`] — the same retry contract as
+/// `drec-serve`'s single-model pool.
+fn retry_or_fail(requests: Vec<Request>, reason: &str, lane: &Lane, shared: &WorkerShared) {
+    for mut request in requests {
+        if request.attempts() == 0 {
+            request.mark_retry();
+            shared.registry.record_retry();
+            lane.queue.requeue(request);
+        } else {
+            shared.registry.record_failed();
+            request.respond(Err(ServeError::WorkerFailed {
+                reason: reason.to_string(),
+            }));
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// CPU worker body: a worker *is* a dispatcher. Park on the shared
+/// signal; on wake, poll every lane (starting at a per-worker offset so
+/// hot lanes have no permanent priority over cold ones), route each
+/// released batch, and execute CPU-bound ones inline — the fast path has
+/// no cross-thread hand-off. Exits when every lane is closed and
+/// drained; a transient failure during its own drain pass is requeued
+/// and picked up by whichever worker is still looping (worst case, the
+/// teardown drain answers it).
+///
+/// A panicked engine is rebuilt inline (same model, same seed) so the
+/// worker keeps serving — co-located pools have no per-model supervisor
+/// to lean on.
+fn cpu_worker_loop(
+    index: usize,
+    mut engines: Vec<Engine>,
+    signal: &Arc<DispatchSignal>,
+    shared: &Arc<WorkerShared>,
+    gpu_tx: Option<mpsc::Sender<WorkItem>>,
+    gpu_backlog: &Arc<AtomicUsize>,
+    backlog_capacity: usize,
+) {
+    let lanes = &shared.lanes;
+    loop {
+        let seen = signal.generation();
+        let mut earliest: Option<Instant> = None;
+        let mut dispatched = false;
+        let mut all_closed = true;
+        for offset in 0..lanes.len() {
+            let idx = (index + offset) % lanes.len();
+            let lane = &lanes[idx];
+            loop {
+                match lane.queue.try_next_batch() {
+                    BatchPoll::Ready(batch) => {
+                        all_closed = false;
+                        dispatched = true;
+                        let cpu_item = route_batch(
+                            idx,
+                            lane,
+                            batch,
+                            &shared.registry,
+                            gpu_tx.as_ref(),
+                            gpu_backlog,
+                            backlog_capacity,
+                        );
+                        if let Some(item) = cpu_item {
+                            if !execute_item(index, &mut engines[idx], item, shared) {
+                                rebuild_engine(&mut engines[idx], idx, shared);
+                            }
+                        }
+                    }
+                    BatchPoll::Coalescing(deadline) => {
+                        all_closed = false;
+                        earliest = Some(match earliest {
+                            Some(e) => e.min(deadline),
+                            None => deadline,
+                        });
+                        break;
+                    }
+                    BatchPoll::Idle => {
+                        all_closed = false;
+                        break;
+                    }
+                    BatchPoll::Closed => break,
+                }
+            }
+        }
+        if all_closed {
+            return; // Drops this worker's accelerator sender clone.
+        }
+        if !dispatched {
+            signal.wait(seen, earliest);
+        }
+    }
+}
+
+/// Accelerator worker body: drains its own channel, decrementing the
+/// backlog gauge per completed item. Exits when the channel disconnects,
+/// or on the shutdown flag once the dispatcher has drained (covers
+/// handles that outlive the runtime and keep the channel open).
+fn gpu_worker_loop(
+    index: usize,
+    mut engines: Vec<Engine>,
+    rx: mpsc::Receiver<WorkItem>,
+    shared: &Arc<WorkerShared>,
+    backlog: &Arc<AtomicUsize>,
+    shutting_down: &Arc<AtomicBool>,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(item) => {
+                let lane_idx = item.lane;
+                let ok = execute_item(index, &mut engines[lane_idx], item, shared);
+                backlog.fetch_sub(1, Ordering::Relaxed);
+                if !ok {
+                    rebuild_engine(&mut engines[lane_idx], lane_idx, shared);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutting_down.load(Ordering::SeqCst) && backlog.load(Ordering::Relaxed) == 0 {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn rebuild_engine(slot: &mut Engine, lane_idx: usize, shared: &Arc<WorkerShared>) {
+    match shared.build_engine(&shared.lanes[lane_idx]) {
+        Ok(engine) => *slot = engine,
+        Err(e) => {
+            // Keep the old engine; it may still serve other batches. The
+            // panic counter already recorded the incident.
+            shared
+                .registry
+                .record_worker_panic(&format!("engine rebuild failed: {e}"));
+        }
+    }
+}
+
+/// Tuner body: every interval, read each model's windowed p99 and walk
+/// its hill-climber one step, applying cap changes to the model's queue
+/// and width changes to its pool tier.
+fn tuner_loop(
+    cfg: &TunerConfig,
+    lanes: &Arc<Vec<Lane>>,
+    slos: &[f64],
+    max_batch: usize,
+    shutting_down: &Arc<AtomicBool>,
+) {
+    let mut tuners: Vec<ModelTuner> = slos
+        .iter()
+        .map(|&slo| ModelTuner::new(slo, max_batch))
+        .collect();
+    let mut baselines: Vec<Vec<u64>> = lanes
+        .iter()
+        .map(|lane| lane.channel.latency.bucket_counts())
+        .collect();
+    let interval = Duration::from_secs_f64(cfg.interval_s.max(1e-3));
+    while !shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        for ((lane, tuner), baseline) in lanes.iter().zip(&mut tuners).zip(&mut baselines) {
+            let counts = lane.channel.latency.bucket_counts();
+            let samples: u64 = counts
+                .iter()
+                .zip(baseline.iter())
+                .map(|(now, prev)| now.saturating_sub(*prev))
+                .sum();
+            let p99 = lane.channel.latency.quantile_seconds_since(baseline, 0.99);
+            *baseline = counts;
+            match tuner.step(cfg, p99, samples) {
+                TunerStep::Hold => {}
+                TunerStep::BatchCap(cap) => lane.queue.set_batch_cap(cap),
+                TunerStep::PoolTier(tier) => lane.pool_tier.store(tier, Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+/// Replays recorded batches against fresh single-model engines (same
+/// scale and seed as the runtime that produced them) and verifies every
+/// output is **bit-identical**: offload placement and co-location must
+/// never change results, only where and when they were computed.
+///
+/// Returns the number of batches verified.
+///
+/// # Errors
+///
+/// A human-readable description of the first mismatch or build failure.
+pub fn replay_records(
+    scale: ModelScale,
+    seed: u64,
+    records: &[BatchRecord],
+) -> std::result::Result<usize, String> {
+    use std::collections::HashMap;
+    let mut engines: HashMap<ModelId, Engine> = HashMap::new();
+    for (i, record) in records.iter().enumerate() {
+        let engine = match engines.entry(record.model) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let model = record
+                    .model
+                    .build(scale, seed)
+                    .map_err(|e| format!("replay build failed for {}: {e}", record.model.name()))?;
+                let curve = drec_core::serving::LatencyCurve::from_points(vec![(1, 1e-6)]);
+                v.insert(Engine::new(model, curve))
+            }
+        };
+        let requests: Vec<Request> = record
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(j, inputs)| {
+                Request::new(
+                    j as u64,
+                    inputs.clone(),
+                    drec_serve::SubmitOptions::default(),
+                )
+                .0
+            })
+            .collect();
+        let exec = engine
+            .run_batch(&requests)
+            .map_err(|e| format!("replay batch {i} failed: {e}"))?;
+        if exec.per_request_outputs != record.outputs {
+            return Err(format!(
+                "batch {i} ({} on {}, {} requests): outputs differ from standalone engine",
+                record.model.name(),
+                record.backend,
+                record.inputs.len(),
+            ));
+        }
+    }
+    Ok(records.len())
+}

@@ -16,17 +16,113 @@
 //! policy of [`drec_core::serving::simulate_queue`], which is what the
 //! load generator uses to cross-validate the analytical model. The
 //! effective batch cap shrinks under overload (see
-//! [`crate::OverloadLadder`]), and requests whose deadline passed while
+//! [`crate::OverloadLadder`]) and under an externally tuned cap (see
+//! [`SharedQueue::set_batch_cap`] — the hook `drec-sched`'s
+//! hill-climbing tuner drives), and requests whose deadline passed while
 //! queued are split out of the batch at drain time so workers never
 //! spend cycles on answers nobody is waiting for.
+//!
+//! # Multi-model dispatch seam
+//!
+//! A queue serves exactly one model, but the types here are public so a
+//! multi-model scheduler (`drec-sched`) can co-locate several queues on
+//! one shared worker pool: each model gets its own `SharedQueue` (its
+//! own admission control, deadlines, and overload ladder — degradation
+//! composes per model), all constructed over one [`DispatchSignal`].
+//! Pushes and closes pulse the signal; pool workers wake, poll every
+//! queue with the non-blocking [`SharedQueue::try_next_batch`], and park
+//! on the signal again when nothing is ready.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::degrade::OverloadLadder;
 use crate::error::ServeError;
 use crate::request::Request;
+
+/// A condvar shared by several [`SharedQueue`]s so one worker pool can
+/// wait for work on *any* of them. Pushes increment a generation counter
+/// and wake all waiters; a worker that polled every queue and found
+/// nothing ready sleeps until the generation moves past what it last saw
+/// (or a coalescing deadline expires).
+#[derive(Debug, Default)]
+pub struct DispatchSignal {
+    generation: Mutex<u64>,
+    work: Condvar,
+}
+
+impl DispatchSignal {
+    /// A fresh signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The generation to pass to [`DispatchSignal::wait`]; any pulse
+    /// after this read will wake that wait.
+    pub fn generation(&self) -> u64 {
+        *self
+            .generation
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Wakes every waiter.
+    pub fn pulse(&self) {
+        let mut generation = self
+            .generation
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *generation = generation.wrapping_add(1);
+        drop(generation);
+        self.work.notify_all();
+    }
+
+    /// Blocks until the generation moves past `seen`, `deadline` passes,
+    /// or (with no deadline) a housekeeping timeout elapses. Returns the
+    /// generation observed on wake-up.
+    pub fn wait(&self, seen: u64, deadline: Option<Instant>) -> u64 {
+        let mut generation = self
+            .generation
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while *generation == seen {
+            let now = Instant::now();
+            let timeout = match deadline {
+                Some(d) if d <= now => return *generation,
+                Some(d) => d - now,
+                // Bounded park so shutdown and coalescing deadlines are
+                // never missed by a lost wake-up race.
+                None => Duration::from_millis(50),
+            };
+            let (guard, wait) = self
+                .work
+                .wait_timeout(generation, timeout)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            generation = guard;
+            if wait.timed_out() {
+                return *generation;
+            }
+        }
+        *generation
+    }
+}
+
+/// Result of a non-blocking [`SharedQueue::try_next_batch`] poll.
+#[derive(Debug)]
+pub enum BatchPoll {
+    /// A batch is ready to execute (and/or expired requests to answer).
+    Ready(TakenBatch),
+    /// Requests are queued but still coalescing; none will be released
+    /// before the contained deadline (the oldest request's
+    /// `submitted_at + max_wait`).
+    Coalescing(Instant),
+    /// The queue is empty and accepting.
+    Idle,
+    /// The queue is closed and drained; no more batches will ever come.
+    Closed,
+}
 
 /// Batching and admission-control parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,9 +153,11 @@ impl BatcherConfig {
 /// deadline passed while they queued. Expired requests must be answered
 /// with [`ServeError::DeadlineExceeded`], never executed.
 #[derive(Debug)]
-pub(crate) struct TakenBatch {
-    pub(crate) requests: Vec<Request>,
-    pub(crate) expired: Vec<Request>,
+pub struct TakenBatch {
+    /// Executable requests in arrival order, at most the effective cap.
+    pub requests: Vec<Request>,
+    /// Requests whose deadline passed while queued.
+    pub expired: Vec<Request>,
 }
 
 #[derive(Debug)]
@@ -70,11 +168,18 @@ struct QueueInner {
 
 /// The shared queue between producer handles and worker threads.
 #[derive(Debug)]
-pub(crate) struct SharedQueue {
+pub struct SharedQueue {
     inner: Mutex<QueueInner>,
     not_empty: Condvar,
     cfg: BatcherConfig,
     ladder: Arc<OverloadLadder>,
+    /// Externally tuned batch cap (see [`SharedQueue::set_batch_cap`]);
+    /// the effective cap is `min(configured, tuned)` further shrunk by
+    /// the overload ladder.
+    tuned_cap: AtomicUsize,
+    /// Pulsed on push/requeue/close when several queues share one worker
+    /// pool.
+    signal: Option<Arc<DispatchSignal>>,
 }
 
 /// Recovers the queue guard even if a panicking thread poisoned the
@@ -86,7 +191,20 @@ fn lock_recover<'a>(m: &'a Mutex<QueueInner>) -> MutexGuard<'a, QueueInner> {
 }
 
 impl SharedQueue {
-    pub(crate) fn new(cfg: BatcherConfig, ladder: Arc<OverloadLadder>) -> Self {
+    /// A standalone queue with its own wake-up condvar (the single-model
+    /// [`crate::ServeRuntime`] configuration).
+    pub fn new(cfg: BatcherConfig, ladder: Arc<OverloadLadder>) -> Self {
+        Self::with_signal(cfg, ladder, None)
+    }
+
+    /// A queue participating in a multi-queue worker pool: every push,
+    /// requeue, and close additionally pulses `signal` so shared workers
+    /// polling several queues wake up.
+    pub fn with_signal(
+        cfg: BatcherConfig,
+        ladder: Arc<OverloadLadder>,
+        signal: Option<Arc<DispatchSignal>>,
+    ) -> Self {
         SharedQueue {
             inner: Mutex::new(QueueInner {
                 queue: VecDeque::new(),
@@ -95,6 +213,45 @@ impl SharedQueue {
             not_empty: Condvar::new(),
             cfg,
             ladder,
+            tuned_cap: AtomicUsize::new(usize::MAX),
+            signal,
+        }
+    }
+
+    /// This queue's batching configuration.
+    pub fn config(&self) -> &BatcherConfig {
+        &self.cfg
+    }
+
+    /// This queue's overload ladder.
+    pub fn ladder(&self) -> &Arc<OverloadLadder> {
+        &self.ladder
+    }
+
+    /// Sets the tuned batch cap (clamped to at least 1). The effective
+    /// drain cap becomes `min(configured max_batch, cap)`, still subject
+    /// to halving by the overload ladder — the control knob a
+    /// batch-size tuner adjusts while traffic flows.
+    pub fn set_batch_cap(&self, cap: usize) {
+        self.tuned_cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// The current tuned batch cap (`min` with the configured max_batch).
+    pub fn batch_cap(&self) -> usize {
+        self.tuned_cap
+            .load(Ordering::Relaxed)
+            .min(self.cfg.max_batch)
+    }
+
+    /// The effective drain cap right now: configured cap, tuned cap, and
+    /// overload ladder combined.
+    fn effective_cap(&self) -> usize {
+        self.ladder.max_batch(self.batch_cap())
+    }
+
+    fn pulse_signal(&self) {
+        if let Some(signal) = &self.signal {
+            signal.pulse();
         }
     }
 
@@ -104,7 +261,7 @@ impl SharedQueue {
     /// victim's reply channel), and `Err((request, error))` when the
     /// arrival itself is shed.
     #[allow(clippy::type_complexity, clippy::result_large_err)]
-    pub(crate) fn try_push(
+    pub fn try_push(
         &self,
         request: Request,
     ) -> Result<Option<(Request, ServeError)>, (Request, ServeError)> {
@@ -149,8 +306,19 @@ impl SharedQueue {
             }
         }
         inner.queue.push_back(request);
+        let len = inner.queue.len();
         drop(inner);
         self.not_empty.notify_one();
+        // Only pushes that change dispatch eligibility pulse the shared
+        // signal: the queue turning non-empty, or filling to the batch
+        // cap (a coalescing wait can release early). A shared-pool
+        // dispatcher drains every ready batch per wake and sleeps with
+        // the coalescing deadline, so intermediate pushes need no wake —
+        // and skipping their pulses keeps a fast producer from turning
+        // the dispatcher into a per-query context-switch storm.
+        if len == 1 || len == self.effective_cap() {
+            self.pulse_signal();
+        }
         Ok(victim)
     }
 
@@ -158,12 +326,13 @@ impl SharedQueue {
     /// admission control and the `accepting` flag: the request was
     /// already admitted once, and the drain guarantee ("every accepted
     /// request gets an answer") must hold through shutdown.
-    pub(crate) fn requeue(&self, request: Request) {
+    pub fn requeue(&self, request: Request) {
         let mut inner = lock_recover(&self.inner);
         // Front, not back: the request has already waited its turn.
         inner.queue.push_front(request);
         drop(inner);
         self.not_empty.notify_one();
+        self.pulse_signal();
     }
 
     /// Blocks until a batch is ready (or shutdown + empty queue, which
@@ -171,7 +340,7 @@ impl SharedQueue {
     /// batch cap of executable requests, in arrival order, plus any
     /// drained requests that expired while queued. Either list may be
     /// empty, but not both.
-    pub(crate) fn next_batch(&self) -> Option<TakenBatch> {
+    pub fn next_batch(&self) -> Option<TakenBatch> {
         let mut inner = lock_recover(&self.inner);
         loop {
             // Phase 1: wait for the first request (or drain-complete).
@@ -199,21 +368,9 @@ impl SharedQueue {
                     break;
                 }
                 let now = Instant::now();
-                let cap = self.ladder.max_batch(self.cfg.max_batch);
+                let cap = self.effective_cap();
                 if inner.queue.len() >= cap || now >= wait_deadline || !inner.accepting {
-                    let take = inner.queue.len().min(cap);
-                    let drained = inner.queue.drain(..take);
-                    let mut batch = TakenBatch {
-                        requests: Vec::with_capacity(take),
-                        expired: Vec::new(),
-                    };
-                    for request in drained {
-                        if request.expired_at(now) {
-                            batch.expired.push(request);
-                        } else {
-                            batch.requests.push(request);
-                        }
-                    }
+                    let batch = Self::drain_cap(&mut inner, cap, now);
                     drop(inner);
                     // More work may remain for the next free worker.
                     self.not_empty.notify_one();
@@ -228,25 +385,74 @@ impl SharedQueue {
         }
     }
 
+    /// Non-blocking batch poll for shared-pool workers serving several
+    /// queues: drains and returns a batch when one is releasable (cap
+    /// reached, oldest past its coalescing deadline, or the queue is
+    /// closing), otherwise reports why not so the caller can pick
+    /// another queue or park on the [`DispatchSignal`].
+    pub fn try_next_batch(&self) -> BatchPoll {
+        let mut inner = lock_recover(&self.inner);
+        if inner.queue.is_empty() {
+            return if inner.accepting {
+                BatchPoll::Idle
+            } else {
+                BatchPoll::Closed
+            };
+        }
+        let now = Instant::now();
+        let cap = self.effective_cap();
+        let wait_deadline =
+            inner.queue.front().expect("non-empty").submitted_at + self.cfg.max_wait;
+        if inner.queue.len() >= cap || now >= wait_deadline || !inner.accepting {
+            let batch = Self::drain_cap(&mut inner, cap, now);
+            drop(inner);
+            // More work may remain for the next free worker.
+            self.not_empty.notify_one();
+            self.pulse_signal();
+            BatchPoll::Ready(batch)
+        } else {
+            BatchPoll::Coalescing(wait_deadline)
+        }
+    }
+
+    /// Drains up to `cap` requests, splitting out the expired ones.
+    fn drain_cap(inner: &mut QueueInner, cap: usize, now: Instant) -> TakenBatch {
+        let take = inner.queue.len().min(cap);
+        let drained = inner.queue.drain(..take);
+        let mut batch = TakenBatch {
+            requests: Vec::with_capacity(take),
+            expired: Vec::new(),
+        };
+        for request in drained {
+            if request.expired_at(now) {
+                batch.expired.push(request);
+            } else {
+                batch.requests.push(request);
+            }
+        }
+        batch
+    }
+
     /// Stops admission; queued work remains for workers to drain.
-    pub(crate) fn close(&self) {
+    pub fn close(&self) {
         let mut inner = lock_recover(&self.inner);
         inner.accepting = false;
         drop(inner);
         self.not_empty.notify_all();
+        self.pulse_signal();
     }
 
     /// Empties the queue, returning every queued request. Used by the
     /// supervisor when no worker can be revived: the drain guarantee is
     /// then satisfied by answering each request with a typed error
     /// instead of leaving it to hang.
-    pub(crate) fn drain_all(&self) -> Vec<Request> {
+    pub fn drain_all(&self) -> Vec<Request> {
         let mut inner = lock_recover(&self.inner);
         inner.queue.drain(..).collect()
     }
 
     /// Current queue depth (racy; for observation only).
-    pub(crate) fn depth(&self) -> usize {
+    pub fn depth(&self) -> usize {
         lock_recover(&self.inner).queue.len()
     }
 }
@@ -465,6 +671,74 @@ mod tests {
             2,
             "late arrival should join the batch"
         );
+    }
+
+    #[test]
+    fn try_next_batch_polls_without_blocking() {
+        let q = queue(cfg(8, 100));
+        assert!(matches!(q.try_next_batch(), BatchPoll::Idle));
+        q.try_push(dummy_request(0).0).unwrap();
+        // max_wait is zero: the single request is immediately releasable.
+        match q.try_next_batch() {
+            BatchPoll::Ready(batch) => assert_eq!(batch.requests.len(), 1),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        q.close();
+        assert!(matches!(q.try_next_batch(), BatchPoll::Closed));
+    }
+
+    #[test]
+    fn try_next_batch_reports_coalescing_deadline() {
+        let c = BatcherConfig {
+            max_batch: 4,
+            max_wait: Duration::from_secs(60),
+            queue_capacity: 100,
+            delay_budget: Duration::from_secs(3600),
+            per_query_service_estimate: 0.0,
+        };
+        let q = queue(c);
+        let (req, _rx) = dummy_request(0);
+        let submitted = req.submitted_at;
+        q.try_push(req).unwrap();
+        match q.try_next_batch() {
+            BatchPoll::Coalescing(deadline) => {
+                assert_eq!(deadline, submitted + Duration::from_secs(60));
+            }
+            other => panic!("expected Coalescing, got {other:?}"),
+        }
+        // A closing queue releases the partial batch immediately.
+        q.close();
+        assert!(matches!(q.try_next_batch(), BatchPoll::Ready(_)));
+    }
+
+    #[test]
+    fn tuned_cap_shrinks_drained_batches() {
+        let q = queue(cfg(8, 100));
+        q.set_batch_cap(2);
+        for id in 0..5 {
+            q.try_push(dummy_request(id).0).unwrap();
+        }
+        assert_eq!(q.next_batch().unwrap().requests.len(), 2);
+        // Restoring a huge cap falls back to the configured max_batch.
+        q.set_batch_cap(usize::MAX);
+        assert_eq!(q.batch_cap(), 8);
+        assert_eq!(q.next_batch().unwrap().requests.len(), 3);
+    }
+
+    #[test]
+    fn shared_signal_pulses_on_push_and_close() {
+        let signal = Arc::new(DispatchSignal::new());
+        let ladder = Arc::new(OverloadLadder::new(DegradeConfig::default(), 100, None));
+        let q = SharedQueue::with_signal(cfg(8, 100), ladder, Some(Arc::clone(&signal)));
+        let before = signal.generation();
+        q.try_push(dummy_request(0).0).unwrap();
+        assert_ne!(signal.generation(), before);
+        let before = signal.generation();
+        q.close();
+        assert_ne!(signal.generation(), before);
+        // A wait on a stale generation returns immediately.
+        let woke = signal.wait(before, Some(Instant::now() + Duration::from_secs(5)));
+        assert_ne!(woke, before);
     }
 
     #[test]

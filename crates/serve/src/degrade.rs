@@ -273,6 +273,83 @@ mod tests {
     }
 
     #[test]
+    fn transitions_fire_exactly_at_threshold() {
+        // Thresholds are inclusive: fraction >= reduce_batch_at enters.
+        let l = ladder(100);
+        l.observe(49);
+        assert_eq!(l.level(), OverloadLevel::Normal);
+        l.observe(50); // exactly 0.5
+        assert_eq!(l.level(), OverloadLevel::ReducedBatch);
+        l.observe(79);
+        assert_eq!(l.level(), OverloadLevel::ReducedBatch);
+        l.observe(80); // exactly 0.8
+        assert_eq!(l.level(), OverloadLevel::CacheOnly);
+        // Exactly at the exit threshold (0.8 * 0.5 = 0.4) is NOT below
+        // it: the ladder holds. One sample under, it steps down.
+        l.observe(40);
+        assert_eq!(l.level(), OverloadLevel::CacheOnly);
+        l.observe(39);
+        assert_eq!(l.level(), OverloadLevel::ReducedBatch);
+    }
+
+    #[test]
+    fn oscillation_inside_hysteresis_band_does_not_flap() {
+        let l = ladder(100);
+        l.observe(50);
+        assert_eq!(l.level(), OverloadLevel::ReducedBatch);
+        // ReducedBatch holds for any depth in [0.25, 0.5): oscillating
+        // across the band must not generate transitions in either
+        // direction.
+        for depth in [49, 26, 45, 30, 49, 25, 40] {
+            l.observe(depth);
+            assert_eq!(l.level(), OverloadLevel::ReducedBatch, "depth {depth}");
+        }
+        assert_eq!(l.transition_counts(), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn recovery_steps_down_one_rung_at_a_time() {
+        let l = ladder(100);
+        l.observe(90);
+        assert_eq!(l.level(), OverloadLevel::CacheOnly);
+        // An empty queue still walks CacheOnly→ReducedBatch→Normal: both
+        // rungs are traversed (counted), never skipped, even in one
+        // observation.
+        l.observe(0);
+        assert_eq!(l.level(), OverloadLevel::Normal);
+        let (up_rb, up_co, down_rb, down_co) = l.transition_counts();
+        assert_eq!((up_rb, up_co), (1, 1));
+        assert_eq!(
+            (down_rb, down_co),
+            (1, 1),
+            "recovery must pass through ReducedBatch, not jump to Normal"
+        );
+    }
+
+    #[test]
+    fn cache_only_store_toggles_follow_recovery_ordering() {
+        use drec_store::StoreConfig;
+        let store = Arc::new(EmbeddingStore::new(StoreConfig {
+            cache_capacity_rows: 16,
+            ..StoreConfig::default()
+        }));
+        let l = OverloadLadder::new(DegradeConfig::default(), 100, Some(Arc::clone(&store)));
+        l.observe(90);
+        assert!(
+            store.cache_only(),
+            "level 2 must put the store in cache-only"
+        );
+        // Stepping down out of CacheOnly restores full-fidelity reads
+        // even while the ladder still sits at ReducedBatch.
+        l.observe(39);
+        assert_eq!(l.level(), OverloadLevel::ReducedBatch);
+        assert!(!store.cache_only());
+        l.observe(0);
+        assert_eq!(l.level(), OverloadLevel::Normal);
+        assert!(!store.cache_only());
+    }
+
+    #[test]
     fn max_batch_halves_under_degradation() {
         let l = ladder(10);
         assert_eq!(l.max_batch(16), 16);

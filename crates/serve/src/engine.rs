@@ -104,6 +104,13 @@ impl Engine {
         &self.pool
     }
 
+    /// Repoints batch execution at a different intra-op pool — the knob
+    /// a scheduler's tuner turns to adjust one model's intra-op
+    /// parallelism while traffic flows. Takes effect on the next batch.
+    pub fn set_pool(&mut self, pool: Arc<ParPool>) {
+        self.pool = pool;
+    }
+
     /// Compile stats of the model's cached execution plan (always present
     /// — construction compiles it).
     pub fn plan_stats(&self) -> Option<&drec_graph::PlanStats> {

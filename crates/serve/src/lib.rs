@@ -47,11 +47,14 @@ mod metrics;
 mod request;
 mod runtime;
 
-pub use batcher::BatcherConfig;
+pub use batcher::{BatchPoll, BatcherConfig, DispatchSignal, SharedQueue, TakenBatch};
 pub use degrade::{DegradeConfig, OverloadLadder, OverloadLevel};
 pub use engine::{BatchExecution, Engine};
 pub use error::{Result, ServeError};
-pub use metrics::{LatencyHistogram, MetricsRegistry, MetricsSnapshot, WorkerMetrics};
+pub use metrics::{
+    LatencyHistogram, MetricsRegistry, MetricsSnapshot, ModelChannelMetrics, ModelChannelSnapshot,
+    WorkerMetrics,
+};
 pub use request::{
     coalesce_inputs, split_outputs, validate_single, Priority, Request, RequestId, Response,
     SubmitOptions,

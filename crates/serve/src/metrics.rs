@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use drec_par::{ParPool, PoolStats};
 use drec_store::{EmbeddingStore, StoreStats};
 
+use crate::batcher::SharedQueue;
 use crate::degrade::{OverloadLadder, OverloadLevel};
 
 /// Cap on retained worker panic reasons; older reasons are kept, later
@@ -87,14 +88,43 @@ impl LatencyHistogram {
     /// The `q`-quantile (`0.0..=1.0`) in seconds, from bucket midpoints.
     /// Returns 0 when empty.
     pub fn quantile_seconds(&self, q: f64) -> f64 {
-        let total = self.count();
+        self.quantile_seconds_since(&[], q)
+    }
+
+    /// A copy of the raw bucket counts. Keep one and pass it to
+    /// [`LatencyHistogram::quantile_seconds_since`] later to compute
+    /// quantiles over just the observations recorded in between — how
+    /// the scheduler's tuner reads a *windowed* per-model p99 from the
+    /// cumulative histogram.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The `q`-quantile over observations recorded since `baseline` was
+    /// captured with [`LatencyHistogram::bucket_counts`]. An empty
+    /// baseline means "since the beginning". Returns 0 when the window
+    /// holds no observations.
+    pub fn quantile_seconds_since(&self, baseline: &[u64], q: f64) -> f64 {
+        let deltas: Vec<u64> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let prev = baseline.get(i).copied().unwrap_or(0);
+                b.load(Ordering::Relaxed).saturating_sub(prev)
+            })
+            .collect();
+        let total: u64 = deltas.iter().sum();
         if total == 0 {
             return 0.0;
         }
         let rank = ((total as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
+        for (i, delta) in deltas.iter().enumerate() {
+            seen += delta;
             if seen >= rank {
                 // Geometric midpoint of bucket i.
                 let lo = BASE_NANOS * 2f64.powf(i as f64 / BUCKETS_PER_OCTAVE);
@@ -111,6 +141,104 @@ impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Live metrics for one model's serving channel in a multi-model
+/// runtime: its own latency histogram, completion/shed counters, and
+/// (optionally) the model's queue and overload ladder so snapshots can
+/// report queue depth and degradation level keyed by model name.
+///
+/// Channels are registered on a [`MetricsRegistry`] with
+/// [`MetricsRegistry::register_model`]; single-model runtimes register
+/// exactly one channel so the per-model table in snapshots is uniform
+/// across deployment shapes.
+#[derive(Debug)]
+pub struct ModelChannelMetrics {
+    name: String,
+    /// End-to-end wall latency for this model's requests.
+    pub latency: LatencyHistogram,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    queue: Option<Arc<SharedQueue>>,
+    ladder: Option<Arc<OverloadLadder>>,
+}
+
+impl ModelChannelMetrics {
+    /// A fresh channel for `name`. `queue` and `ladder` are optional
+    /// observers: when present, snapshots report live queue depth and
+    /// degradation level for this model.
+    pub fn new(
+        name: impl Into<String>,
+        queue: Option<Arc<SharedQueue>>,
+        ladder: Option<Arc<OverloadLadder>>,
+    ) -> Self {
+        ModelChannelMetrics {
+            name: name.into(),
+            latency: LatencyHistogram::new(),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue,
+            ladder,
+        }
+    }
+
+    /// The model name this channel is keyed by.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one completed request with its end-to-end latency.
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Counts one request shed at admission for this model.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of this channel.
+    pub fn snapshot(&self) -> ModelChannelSnapshot {
+        ModelChannelSnapshot {
+            name: self.name.clone(),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth: self.queue.as_ref().map_or(0, |q| q.depth()),
+            overload_level: self
+                .ladder
+                .as_ref()
+                .map_or(OverloadLevel::Normal, |l| l.level()),
+            mean_latency_seconds: self.latency.mean_seconds(),
+            p50_seconds: self.latency.quantile_seconds(0.50),
+            p95_seconds: self.latency.quantile_seconds(0.95),
+            p99_seconds: self.latency.quantile_seconds(0.99),
+        }
+    }
+}
+
+/// A point-in-time copy of one model's serving channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelChannelSnapshot {
+    /// Model name the channel is keyed by.
+    pub name: String,
+    /// Requests completed for this model.
+    pub completed: u64,
+    /// Requests shed at admission for this model.
+    pub shed: u64,
+    /// Live queue depth at snapshot time (0 when no queue is attached).
+    pub queue_depth: usize,
+    /// This model's current degradation rung (Normal when no ladder is
+    /// attached).
+    pub overload_level: OverloadLevel,
+    /// Mean end-to-end latency, seconds.
+    pub mean_latency_seconds: f64,
+    /// Median end-to-end latency, seconds.
+    pub p50_seconds: f64,
+    /// 95th-percentile end-to-end latency, seconds.
+    pub p95_seconds: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub p99_seconds: f64,
 }
 
 /// Per-worker execution accounting.
@@ -148,6 +276,7 @@ pub struct MetricsRegistry {
     worker_restarts: AtomicU64,
     panic_reasons: Mutex<Vec<String>>,
     ladder: Option<Arc<OverloadLadder>>,
+    models: Vec<Arc<ModelChannelMetrics>>,
     /// End-to-end wall latency (admission → response).
     pub latency: LatencyHistogram,
     /// Modelled per-platform batch execution time from the latency curve.
@@ -201,6 +330,7 @@ impl MetricsRegistry {
             worker_restarts: AtomicU64::new(0),
             panic_reasons: Mutex::new(Vec::new()),
             ladder: None,
+            models: Vec::new(),
             latency: LatencyHistogram::new(),
             modelled: LatencyHistogram::new(),
             workers: (0..workers).map(|_| WorkerMetrics::default()).collect(),
@@ -216,6 +346,31 @@ impl MetricsRegistry {
     /// runtime construction, before the registry is shared.
     pub(crate) fn set_ladder(&mut self, ladder: Arc<OverloadLadder>) {
         self.ladder = Some(ladder);
+    }
+
+    /// Registers a per-model serving channel and returns its handle.
+    /// Called at runtime construction, before the registry is shared;
+    /// channels appear in [`MetricsSnapshot::models`] in registration
+    /// order.
+    pub fn register_model(
+        &mut self,
+        name: impl Into<String>,
+        queue: Option<Arc<SharedQueue>>,
+        ladder: Option<Arc<OverloadLadder>>,
+    ) -> Arc<ModelChannelMetrics> {
+        let channel = Arc::new(ModelChannelMetrics::new(name, queue, ladder));
+        self.models.push(Arc::clone(&channel));
+        channel
+    }
+
+    /// The registered per-model channels, in registration order.
+    pub fn model_channels(&self) -> &[Arc<ModelChannelMetrics>] {
+        &self.models
+    }
+
+    /// The channel registered under `name`, if any.
+    pub fn model_channel(&self, name: &str) -> Option<&Arc<ModelChannelMetrics>> {
+        self.models.iter().find(|c| c.name() == name)
     }
 
     /// Counts one admitted request.
@@ -345,6 +500,7 @@ impl MetricsRegistry {
                 .store
                 .as_ref()
                 .map(|(s, baseline)| s.stats().since(baseline)),
+            models: self.models.iter().map(|c| c.snapshot()).collect(),
             uptime_seconds: elapsed,
         }
     }
@@ -409,6 +565,10 @@ pub struct MetricsSnapshot {
     /// quantization) when the runtime serves through a shared store;
     /// counters are deltas since the registry was created.
     pub store: Option<StoreStats>,
+    /// Per-model serving channels (latency, queue depth, degradation
+    /// level keyed by model name), in registration order. Empty when the
+    /// runtime registered no channels.
+    pub models: Vec<ModelChannelSnapshot>,
     /// Seconds since the registry was created.
     pub uptime_seconds: f64,
 }
@@ -460,6 +620,45 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile_seconds(0.99), 0.0);
         assert_eq!(h.mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn windowed_quantile_ignores_baseline_observations() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(10));
+        }
+        let baseline = h.bucket_counts();
+        // Cumulative p99 is dominated by the 10 µs mass…
+        assert!(h.quantile_seconds(0.99) < 20e-6);
+        for _ in 0..100 {
+            h.record(Duration::from_millis(5));
+        }
+        // …but the windowed quantile sees only the new 5 ms mass.
+        let windowed = h.quantile_seconds_since(&baseline, 0.5);
+        assert!(windowed > 4e-3 && windowed < 7e-3, "{windowed}");
+        assert_eq!(h.quantile_seconds_since(&h.bucket_counts(), 0.99), 0.0);
+    }
+
+    #[test]
+    fn model_channels_key_metrics_by_name() {
+        let mut m = MetricsRegistry::new(1);
+        let ncf = m.register_model("ncf", None, None);
+        let din = m.register_model("din", None, None);
+        ncf.record_completed(Duration::from_micros(100));
+        ncf.record_completed(Duration::from_micros(100));
+        din.record_shed();
+        let s = m.snapshot();
+        assert_eq!(s.models.len(), 2);
+        assert_eq!(s.models[0].name, "ncf");
+        assert_eq!(s.models[0].completed, 2);
+        assert_eq!(s.models[0].shed, 0);
+        assert!(s.models[0].p99_seconds > 0.0);
+        assert_eq!(s.models[1].name, "din");
+        assert_eq!(s.models[1].shed, 1);
+        assert_eq!(s.models[1].completed, 0);
+        assert_eq!(m.model_channel("din").unwrap().name(), "din");
+        assert!(m.model_channel("rm1").is_none());
     }
 
     #[test]

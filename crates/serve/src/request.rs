@@ -74,9 +74,51 @@ pub struct Request {
 }
 
 impl Request {
+    /// Builds a request (stamped now, zero attempts) plus the receiver
+    /// its response will arrive on — the construction seam external
+    /// schedulers (`drec-sched`) use to feed a [`crate::SharedQueue`]
+    /// directly. The caller is responsible for validating `inputs`
+    /// against the target model's spec first.
+    pub fn new(
+        id: RequestId,
+        inputs: Vec<Value>,
+        opts: crate::request::SubmitOptions,
+    ) -> (Request, mpsc::Receiver<Result<Response>>) {
+        let (tx, rx) = mpsc::channel();
+        let submitted_at = Instant::now();
+        (
+            Request {
+                id,
+                inputs,
+                submitted_at,
+                deadline: opts.deadline.map(|budget| submitted_at + budget),
+                priority: opts.priority,
+                attempts: 0,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
     /// Whether the deadline has passed at `now`.
     pub fn expired_at(&self, now: Instant) -> bool {
         self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Delivers the response (or typed error). A dropped receiver just
+    /// means the client went away; that is not an error here.
+    pub fn respond(&self, result: Result<Response>) {
+        let _ = self.reply.send(result);
+    }
+
+    /// Execution attempts so far (0 until the first batch failure).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Marks one failed execution attempt before a requeue.
+    pub fn mark_retry(&mut self) {
+        self.attempts += 1;
     }
 }
 

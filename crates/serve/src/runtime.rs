@@ -254,6 +254,14 @@ impl ServeRuntime {
         let mut registry =
             MetricsRegistry::with_pool_and_store(cfg.workers, Arc::clone(&pool), store.clone());
         registry.set_ladder(Arc::clone(&ladder));
+        // Single-model runtimes still register one per-model channel so
+        // `MetricsSnapshot::models` is uniform across deployment shapes
+        // (the multi-model scheduler registers one channel per model).
+        registry.register_model(
+            cfg.model.name(),
+            Some(Arc::clone(&queue)),
+            Some(Arc::clone(&ladder)),
+        );
         let metrics = Arc::new(registry);
 
         let factory = EngineFactory {
@@ -428,9 +436,13 @@ fn worker_loop(
                 let batch_size = requests.len();
                 metrics.record_batch(index, batch_size, busy);
                 metrics.modelled.record_seconds(exec.modelled_seconds);
+                let channel = metrics.model_channels().first();
                 for (request, outputs) in requests.into_iter().zip(exec.per_request_outputs) {
                     let wall = (done - request.submitted_at).as_secs_f64();
                     metrics.latency.record_seconds(wall);
+                    if let Some(c) = channel {
+                        c.record_completed(Duration::from_secs_f64(wall.max(0.0)));
+                    }
                     // A dropped receiver just means the client went away.
                     let _ = request.reply.send(Ok(Response {
                         id: request.id,
@@ -585,12 +597,18 @@ impl ServeHandle {
                     // The evicted lower-priority request is shed on its
                     // own reply channel; its waiter sees Overloaded.
                     self.metrics.record_shed();
+                    if let Some(c) = self.metrics.model_channels().first() {
+                        c.record_shed();
+                    }
                     let _ = victim.reply.send(Err(err));
                 }
                 Ok(PendingResponse { id, rx })
             }
             Err((_request, err)) => {
                 self.metrics.record_shed();
+                if let Some(c) = self.metrics.model_channels().first() {
+                    c.record_shed();
+                }
                 Err(err)
             }
         }
@@ -615,6 +633,13 @@ pub struct PendingResponse {
 }
 
 impl PendingResponse {
+    /// Pairs an id with its reply receiver. Used by multi-model
+    /// schedulers that build requests through [`Request::new`] and hand
+    /// callers the same waitable as [`ServeHandle::submit`].
+    pub fn from_parts(id: RequestId, rx: mpsc::Receiver<Result<Response>>) -> Self {
+        PendingResponse { id, rx }
+    }
+
     /// The id assigned at submission.
     pub fn id(&self) -> RequestId {
         self.id
