@@ -1,19 +1,26 @@
 //! Old-vs-new kernel benchmarks for the intra-op parallelism stack:
-//! register-blocked GEMM against the seed scalar kernels, embedding
-//! pooling, and end-to-end RM2/DIEN forward passes across batch sizes,
-//! plus the determinism contract (parallel output bit-identical to
-//! sequential). Writes `BENCH_kernels.json`.
+//! register-blocked GEMM against the seed scalar kernels, the SIMD
+//! quantized SparseLengthsSum and FMA GEMM kernels against their scalar
+//! oracles, embedding pooling, and end-to-end RM2/DIEN forward passes
+//! across batch sizes, plus the determinism contracts (parallel output
+//! bit-identical to sequential; vector row kernels bit-identical to
+//! scalar; FMA GEMM within its documented ULP bound). Writes
+//! `BENCH_kernels.json`.
 //!
 //! Flags:
 //!
-//! * `--smoke` — tiny shapes, correctness assertions only (CI mode),
+//! * `--smoke` — tiny shapes, correctness assertions plus the SIMD
+//!   speedup gates (CI mode),
 //! * `--tiny` — tiny model scale for the end-to-end section,
 //! * `--quick` — fewer timing repeats.
 //!
-//! The performance gates run in full mode only: the blocked transposed
-//! GEMM must beat the seed scalar kernel by ≥3× at 512³ on one thread,
-//! and `DREC_THREADS=4` must add further speedup when the host actually
-//! has multiple cores (on a single-core host the multi-thread gate is
+//! SIMD gates (smoke *and* full mode, AVX2+FMA hosts only — auto-skip
+//! with a logged notice elsewhere): int8 pooled-sum vector path ≥2×
+//! scalar at dim 64, FMA GEMM ≥1.5× the scalar blocked kernel. The
+//! legacy full-mode gates stay: the blocked transposed GEMM must beat
+//! the seed scalar kernel by ≥3× at 512³ on one thread, and
+//! `DREC_THREADS=4` must add further speedup when the host actually has
+//! multiple cores (on a single-core host the multi-thread gate is
 //! reported but not enforced).
 
 use std::sync::Arc;
@@ -22,12 +29,23 @@ use std::time::Instant;
 use drec_models::{ModelId, ModelScale};
 use drec_ops::{EmbeddingTable, ExecContext, IdList, Operator, SparseLengthsSum, Value};
 use drec_par::ParPool;
-use drec_tensor::ParamInit;
+use drec_tensor::simd::{self, KernelBackend};
+use drec_tensor::{gemm_transposed, gemm_transposed_scalar, ParamInit};
 use drec_workload::QueryGen;
 
 /// Required single-thread speedup of the blocked transposed GEMM over the
 /// seed scalar kernel at 512³ (full mode only).
 const GEMM_SPEEDUP_GATE: f64 = 3.0;
+/// Required vector-over-scalar speedup of the int8 pooled sum at dim 64
+/// on AVX2+FMA hosts (smoke and full mode).
+const INT8_SLS_SPEEDUP_GATE: f64 = 2.0;
+/// Required FMA-over-scalar-blocked GEMM speedup on AVX2+FMA hosts
+/// (smoke and full mode).
+const GEMM_FMA_SPEEDUP_GATE: f64 = 1.5;
+/// Row width for the quantized pooled-sum gate (the paper's common
+/// embedding dim is 32–64; 64 is where the vector path's advantage is
+/// representative).
+const SLS_GATE_DIM: usize = 64;
 
 struct Args {
     smoke: bool,
@@ -156,6 +174,212 @@ fn check_gemm_determinism() {
     }
 }
 
+/// One encoding's pooled-sum timing: the dispatched kernel (vector on
+/// AVX2 hosts) against the scalar oracle over the same raw row buffers.
+struct QuantSlsRow {
+    encoding: &'static str,
+    dim: usize,
+    scalar_gb_s: f64,
+    vector_gb_s: f64,
+    speedup: f64,
+}
+
+/// Times pooled sums over raw encoded rows — the store's cold-decode hot
+/// loop with the shard locks and cache peeled away, so the measurement
+/// is the kernel itself. Asserts the dispatched accumulator is
+/// bit-identical to the scalar oracle's before timing.
+fn bench_quantized_sls(
+    dim: usize,
+    rows: usize,
+    pool_ids: usize,
+    repeats: usize,
+) -> Vec<QuantSlsRow> {
+    let mut init = ParamInit::new(0x51D);
+    let dense = init.uniform(&[rows, dim], -1.0, 1.0);
+    let data = dense.as_slice();
+    let f16: Vec<u16> = data
+        .iter()
+        .map(|&v| drec_store::f32_to_f16_bits(v))
+        .collect();
+    let mut q = vec![0u8; rows * dim];
+    let mut scale = vec![0f32; rows];
+    let mut bias = vec![0f32; rows];
+    for r in 0..rows {
+        let (s, b) = drec_store::quantize_row(
+            &data[r * dim..(r + 1) * dim],
+            &mut q[r * dim..(r + 1) * dim],
+        );
+        scale[r] = s;
+        bias[r] = b;
+    }
+    let mut state = 0xBA7_u64;
+    let ids: Vec<usize> = (0..pool_ids)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % rows as u64) as usize
+        })
+        .collect();
+
+    let mut acc = vec![0.0f32; dim];
+    let mut rows_out = Vec::new();
+    // (encoding, bytes per row, dispatched pass, scalar-oracle pass)
+    type Pass<'a> = Box<dyn Fn(usize, &mut [f32]) + 'a>;
+    let passes: Vec<(&'static str, usize, Pass, Pass)> = vec![
+        (
+            "f32",
+            dim * 4,
+            Box::new(|r, acc: &mut [f32]| {
+                simd::sum_f32_into(&data[r * dim..(r + 1) * dim], acc);
+            }),
+            Box::new(|r, acc: &mut [f32]| {
+                simd::scalar::sum_f32_into(&data[r * dim..(r + 1) * dim], acc);
+            }),
+        ),
+        (
+            "f16",
+            dim * 2,
+            Box::new(|r, acc: &mut [f32]| {
+                simd::sum_f16_into(&f16[r * dim..(r + 1) * dim], acc);
+            }),
+            Box::new(|r, acc: &mut [f32]| {
+                simd::scalar::sum_f16_into(&f16[r * dim..(r + 1) * dim], acc);
+            }),
+        ),
+        (
+            "int8",
+            dim + 8,
+            Box::new(|r, acc: &mut [f32]| {
+                simd::sum_i8_into(&q[r * dim..(r + 1) * dim], scale[r], bias[r], acc);
+            }),
+            Box::new(|r, acc: &mut [f32]| {
+                simd::scalar::sum_i8_into(&q[r * dim..(r + 1) * dim], scale[r], bias[r], acc);
+            }),
+        ),
+    ];
+    for (encoding, bytes_per_row, dispatched, oracle) in &passes {
+        // Bit-identity first: one full pooled pass per path must agree
+        // exactly (this is the kernel contract the store relies on).
+        acc.fill(0.0);
+        for &r in &ids {
+            dispatched(r, &mut acc);
+        }
+        let got = acc.clone();
+        acc.fill(0.0);
+        for &r in &ids {
+            oracle(r, &mut acc);
+        }
+        assert_eq!(
+            got, acc,
+            "{encoding} dispatched pooled sum is not bit-identical to the scalar oracle"
+        );
+
+        let vector_seconds = time_min(repeats, || {
+            acc.fill(0.0);
+            for &r in &ids {
+                dispatched(r, &mut acc);
+            }
+            acc[0]
+        });
+        let scalar_seconds = time_min(repeats, || {
+            acc.fill(0.0);
+            for &r in &ids {
+                oracle(r, &mut acc);
+            }
+            acc[0]
+        });
+        let bytes = (ids.len() * bytes_per_row) as f64;
+        rows_out.push(QuantSlsRow {
+            encoding,
+            dim,
+            scalar_gb_s: bytes / scalar_seconds / 1e9,
+            vector_gb_s: bytes / vector_seconds / 1e9,
+            speedup: scalar_seconds / vector_seconds,
+        });
+    }
+    rows_out
+}
+
+/// One square-size comparison of the dispatched GEMM (FMA dot cells on
+/// AVX2 hosts) against the scalar blocked kernel.
+struct GemmFmaRow {
+    size: usize,
+    scalar_gflops: f64,
+    fma_gflops: f64,
+    speedup: f64,
+}
+
+fn bench_gemm_fma(size: usize, repeats: usize) -> GemmFmaRow {
+    let mut init = ParamInit::new(0xF3A_u64 + size as u64);
+    let a = init.uniform(&[size, size], -1.0, 1.0);
+    let b = init.uniform(&[size, size], -1.0, 1.0);
+    let mut out = vec![0.0f32; size * size];
+    let single = ParPool::new(1);
+    let flops = 2.0 * (size as f64).powi(3);
+    drec_par::with_pool(&single, || {
+        let scalar_seconds = time_min(repeats, || {
+            gemm_transposed_scalar(a.as_slice(), b.as_slice(), size, size, size, &mut out);
+            out[0]
+        });
+        let fma_seconds = time_min(repeats, || {
+            gemm_transposed(a.as_slice(), b.as_slice(), size, size, size, &mut out);
+            out[0]
+        });
+        GemmFmaRow {
+            size,
+            scalar_gflops: flops / scalar_seconds / 1e9,
+            fma_gflops: flops / fma_seconds / 1e9,
+            speedup: scalar_seconds / fma_seconds,
+        }
+    })
+}
+
+/// Checks the dispatched GEMM against the scalar blocked kernel on
+/// register-block edge shapes: bit-identical when FMA is disabled
+/// (strict mode / forced scalar / no AVX2), otherwise within the
+/// documented per-cell bound `2·(k+8)·ε·Σ|aᵢₗ·bⱼₗ| + f32::MIN_POSITIVE`
+/// (see DESIGN.md §11).
+fn check_gemm_fma_accuracy() {
+    let fma = simd::gemm_fma_enabled();
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize),
+        (5, 257, 9),
+        (33, 129, 17),
+        (64, 64, 64),
+    ] {
+        let mut init = ParamInit::new((m * 7919 + k * 131 + n) as u64);
+        let a = init.uniform(&[m, k], -1.0, 1.0);
+        let b = init.uniform(&[n, k], -1.0, 1.0);
+        let mut scalar_out = vec![0.0f32; m * n];
+        let mut dispatched = vec![0.0f32; m * n];
+        gemm_transposed_scalar(a.as_slice(), b.as_slice(), m, k, n, &mut scalar_out);
+        gemm_transposed(a.as_slice(), b.as_slice(), m, k, n, &mut dispatched);
+        if !fma {
+            assert_eq!(
+                scalar_out, dispatched,
+                "GEMM {m}x{k}x{n}: strict/scalar mode must be bit-identical"
+            );
+            continue;
+        }
+        let (av, bv) = (a.as_slice(), b.as_slice());
+        for i in 0..m {
+            for j in 0..n {
+                let abs_dot: f64 = (0..k)
+                    .map(|l| f64::from(av[i * k + l] * bv[j * k + l]).abs())
+                    .sum();
+                let bound = 2.0 * (k as f64 + 8.0) * f64::from(f32::EPSILON) * abs_dot
+                    + f64::from(f32::MIN_POSITIVE);
+                let diff = f64::from(scalar_out[i * n + j] - dispatched[i * n + j]).abs();
+                assert!(
+                    diff <= bound,
+                    "GEMM {m}x{k}x{n} cell ({i},{j}): |fma - scalar| {diff:e} > ULP bound {bound:e}"
+                );
+            }
+        }
+    }
+}
+
 /// Deterministic id stream for the pooling benchmark.
 fn pooled_ids(batch: usize, lookups_per_sample: usize, rows: u32, seed: u64) -> IdList {
     let mut state = seed | 1;
@@ -268,6 +492,8 @@ fn write_json(
     smoke: bool,
     scale: ModelScale,
     gemm: &[GemmRow],
+    quant_sls: &[QuantSlsRow],
+    gemm_fma: &[GemmFmaRow],
     threads_sweep: &[(usize, f64)],
     embedding: &[EmbedRow],
     models: &[ModelRow],
@@ -276,10 +502,34 @@ fn write_json(
 ) {
     let mut s = String::from("{\n");
     s.push_str(&format!(
-        "  \"host\": {{\"parallelism\": {host_parallelism}}},\n  \"mode\": \"{}\",\n  \"model_scale\": \"{scale:?}\",\n",
-        if smoke { "smoke" } else { "full" }
+        "  \"host\": {{\"parallelism\": {host_parallelism}}},\n  \"mode\": \"{}\",\n  \"model_scale\": \"{scale:?}\",\n  \"kernel_backend\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" },
+        simd::backend_label()
     ));
-    s.push_str("  \"gemm_single_thread\": [\n");
+    s.push_str("  \"quantized_sls\": [\n");
+    for (i, r) in quant_sls.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"encoding\": \"{}\", \"dim\": {}, \"scalar_gb_per_s\": {}, \"vector_gb_per_s\": {}, \"speedup\": {}}}{}\n",
+            r.encoding,
+            r.dim,
+            json_f64(r.scalar_gb_s),
+            json_f64(r.vector_gb_s),
+            json_f64(r.speedup),
+            if i + 1 < quant_sls.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"gemm_fma\": [\n");
+    for (i, r) in gemm_fma.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"size\": {}, \"scalar_gflop_per_s\": {}, \"fma_gflop_per_s\": {}, \"speedup\": {}}}{}\n",
+            r.size,
+            json_f64(r.scalar_gflops),
+            json_f64(r.fma_gflops),
+            json_f64(r.speedup),
+            if i + 1 < gemm_fma.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"gemm_single_thread\": [\n");
     for (i, r) in gemm.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"size\": {}, \"transposed_ref_seconds\": {}, \"transposed_blocked_seconds\": {}, \"transposed_speedup\": {}, \"matmul_ref_seconds\": {}, \"matmul_blocked_seconds\": {}, \"matmul_speedup\": {}}}{}\n",
@@ -323,6 +573,32 @@ fn write_json(
     }
     s.push_str("  ],\n  \"checks\": {\n");
     s.push_str("    \"parallel_bit_identical\": true,\n");
+    s.push_str("    \"quantized_vector_bit_identical\": true,\n");
+    s.push_str("    \"gemm_fma_within_ulp_bound\": true,\n");
+    let vector_gates = simd::active_backend() == KernelBackend::Avx2Fma;
+    s.push_str(&format!(
+        "    \"int8_sls_dim64_speedup\": {},\n    \"int8_sls_speedup_gate\": {},\n",
+        quant_sls
+            .iter()
+            .find(|r| r.encoding == "int8" && r.dim == SLS_GATE_DIM)
+            .map_or("null".to_string(), |r| json_f64(r.speedup)),
+        if vector_gates {
+            INT8_SLS_SPEEDUP_GATE.to_string()
+        } else {
+            "null".to_string()
+        }
+    ));
+    s.push_str(&format!(
+        "    \"gemm_fma_speedup\": {},\n    \"gemm_fma_speedup_gate\": {},\n",
+        gemm_fma
+            .last()
+            .map_or("null".to_string(), |r| json_f64(r.speedup)),
+        if vector_gates {
+            GEMM_FMA_SPEEDUP_GATE.to_string()
+        } else {
+            "null".to_string()
+        }
+    ));
     s.push_str(&format!(
         "    \"gemm_512_single_thread_speedup\": {},\n",
         gate_speedup.map_or("null".to_string(), json_f64)
@@ -344,13 +620,79 @@ fn main() {
         ModelScale::Paper
     };
     println!(
-        "kernel_bench: host parallelism {host_parallelism}, {} mode, {scale:?} model scale",
-        if args.smoke { "smoke" } else { "full" }
+        "kernel_bench: host parallelism {host_parallelism}, {} mode, {scale:?} model scale, kernel backend {}",
+        if args.smoke { "smoke" } else { "full" },
+        simd::backend_label()
     );
 
     println!("Checking parallel == sequential (bit-identical) on GEMM edge shapes...");
     check_gemm_determinism();
     println!("  ok");
+
+    println!("Checking dispatched GEMM vs scalar blocked kernel (ULP bound / strict identity)...");
+    check_gemm_fma_accuracy();
+    println!("  ok");
+
+    let (sls_rows, sls_ids, sls_repeats) = if args.smoke || args.quick {
+        (1024usize, 16_384usize, 3usize)
+    } else {
+        (4096, 65_536, 7)
+    };
+    println!(
+        "Quantized pooled sums at dim {SLS_GATE_DIM} ({sls_ids} lookups over {sls_rows} rows, dispatched vs scalar oracle):"
+    );
+    let quant_sls = bench_quantized_sls(SLS_GATE_DIM, sls_rows, sls_ids, sls_repeats);
+    for r in &quant_sls {
+        println!(
+            "  {:<4} scalar {:.2} GB/s -> dispatched {:.2} GB/s ({:.2}x)",
+            r.encoding, r.scalar_gb_s, r.vector_gb_s, r.speedup
+        );
+    }
+
+    let fma_sizes: &[usize] = if args.smoke { &[128] } else { &[128, 256, 512] };
+    let fma_repeats = if args.smoke || args.quick { 3 } else { 5 };
+    println!("GEMM dispatched (FMA) vs scalar blocked, single thread:");
+    let gemm_fma: Vec<GemmFmaRow> = fma_sizes
+        .iter()
+        .map(|&size| {
+            let row = bench_gemm_fma(size, fma_repeats);
+            println!(
+                "  {size:>4}³ scalar {:.2} GFLOP/s -> dispatched {:.2} GFLOP/s ({:.2}x)",
+                row.scalar_gflops, row.fma_gflops, row.speedup
+            );
+            row
+        })
+        .collect();
+
+    if simd::active_backend() == KernelBackend::Avx2Fma {
+        let int8 = quant_sls
+            .iter()
+            .find(|r| r.encoding == "int8")
+            .expect("int8 row present");
+        assert!(
+            int8.speedup >= INT8_SLS_SPEEDUP_GATE,
+            "int8 pooled-sum vector speedup {:.2}x at dim {SLS_GATE_DIM} below the {INT8_SLS_SPEEDUP_GATE}x gate",
+            int8.speedup
+        );
+        println!(
+            "Gate: int8 pooled-sum vector {:.2}x >= {INT8_SLS_SPEEDUP_GATE}x at dim {SLS_GATE_DIM} — ok",
+            int8.speedup
+        );
+        let worst_fma = gemm_fma
+            .iter()
+            .map(|r| r.speedup)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            worst_fma >= GEMM_FMA_SPEEDUP_GATE,
+            "FMA GEMM speedup {worst_fma:.2}x below the {GEMM_FMA_SPEEDUP_GATE}x gate"
+        );
+        println!("Gate: FMA GEMM {worst_fma:.2}x >= {GEMM_FMA_SPEEDUP_GATE}x — ok");
+    } else {
+        println!(
+            "Note: kernel backend is {} (no AVX2+FMA vector path active); SIMD speedup gates skipped",
+            simd::backend_label()
+        );
+    }
 
     let gemm_sizes: &[usize] = if args.smoke { &[48] } else { &[128, 512] };
     let gemm_repeats = if args.smoke || args.quick { 2 } else { 5 };
@@ -422,6 +764,8 @@ fn main() {
         args.smoke,
         scale,
         &gemm,
+        &quant_sls,
+        &gemm_fma,
         &threads_sweep,
         &embedding,
         &models,

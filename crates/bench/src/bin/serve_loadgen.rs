@@ -374,6 +374,15 @@ fn main() {
                 s.compression(),
                 s.bytes_saved() as f64 / 1e6
             );
+            let decodes = s.decode_vector + s.decode_scalar;
+            println!(
+                "  kernels: {} backend; {} row decodes ({:.0}% vector / {:.0}% scalar; \
+                 cache hits are not decodes)",
+                m.kernel_backend,
+                decodes,
+                s.vector_decode_fraction() * 100.0,
+                (1.0 - s.vector_decode_fraction()) * 100.0
+            );
         }
         (rows, ratio, sustained_qps)
     };

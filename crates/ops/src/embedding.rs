@@ -201,17 +201,18 @@ impl EmbeddingTable {
         (self.virtual_rows * self.dim * 4) as u64
     }
 
-    /// Adds row `id`'s contents into `acc` (`acc[i] += row[i]`, left to
-    /// right). Both backings perform the identical f32 reduction, so the
-    /// store's `f32` encoding matches the dense path bit for bit.
+    /// Adds row `id`'s contents into `acc` (`acc[i] += row[i]`, element
+    /// `i` combining only with element `i`). Both backings run through
+    /// the same runtime-dispatched kernels ([`drec_tensor::simd`], AVX2
+    /// on capable hosts) whose vector and scalar paths are bit-identical
+    /// by contract, so the store's `f32` encoding matches the dense path
+    /// bit for bit on every backend and thread count.
     pub(crate) fn sum_row(&self, id: u32, acc: &mut [f32]) {
         let phys = (id as usize) % self.physical_rows;
         match &self.backing {
             Backing::Dense(data) => {
                 let row = &data.as_slice()[phys * self.dim..(phys + 1) * self.dim];
-                for (a, &v) in acc.iter_mut().zip(row) {
-                    *a += v;
-                }
+                drec_tensor::simd::sum_f32_into(row, acc);
             }
             Backing::Store(pin) => pin.sum_row(phys as u32, acc),
         }

@@ -1,0 +1,123 @@
+//! SparseLengthsSum parity across encodings, pooling shapes, and threads.
+//!
+//! The pooled-sum kernels dispatch to AVX2/FMA when available, so these
+//! tests pin the two contracts the dispatch layer guarantees:
+//!
+//! 1. a store-backed f32 table is bit-identical to a dense table, and the
+//!    quantized encodings are bit-identical to their scalar oracles
+//!    (checked in `crates/store/tests/simd_parity.rs`; here we check the
+//!    full operator against itself across configurations), and
+//! 2. results do not depend on the worker-pool size — pooling order per
+//!    segment is fixed, so 1, 2, and 8 threads must agree bitwise.
+//!
+//! Empty pooling segments (length 0) must yield exact zero rows.
+
+use std::sync::Arc;
+
+use drec_ops::{EmbeddingTable, ExecContext, IdList, Operator, PoolMode, SparseLengthsSum, Value};
+use drec_par::{with_pool, ParPool};
+use drec_store::{EmbeddingStore, RowEncoding, StoreConfig};
+use drec_tensor::ParamInit;
+
+const ROWS: usize = 200;
+
+fn store_table(
+    encoding: RowEncoding,
+    dim: usize,
+    seed: u64,
+    ctx: &mut ExecContext,
+) -> Arc<EmbeddingTable> {
+    let store = Arc::new(EmbeddingStore::new(StoreConfig {
+        encoding,
+        cache_capacity_rows: 0,
+        ..StoreConfig::default()
+    }));
+    let mut init = ParamInit::new(seed);
+    EmbeddingTable::new_in_store(ROWS, dim, ROWS, ctx, &mut init, &store, 1, 0).unwrap()
+}
+
+fn dense_table(dim: usize, seed: u64, ctx: &mut ExecContext) -> Arc<EmbeddingTable> {
+    let mut init = ParamInit::new(seed);
+    EmbeddingTable::new(ROWS, dim, ROWS, ctx, &mut init).unwrap()
+}
+
+/// A batch with ragged segments including empty ones at the front, middle,
+/// and back: lengths [0, 5, 1, 0, 9, 3, 0].
+fn ragged_input(ctx: &mut ExecContext, salt: u32) -> Value {
+    let lengths = vec![0u32, 5, 1, 0, 9, 3, 0];
+    let total: u32 = lengths.iter().sum();
+    let ids: Vec<u32> = (0..total).map(|i| (i * 37 + salt) % ROWS as u32).collect();
+    ctx.external_input(Value::ids(IdList::new(ids, lengths)))
+}
+
+fn run_sls(table: Arc<EmbeddingTable>, ctx: &mut ExecContext, salt: u32) -> Vec<u32> {
+    let sls = SparseLengthsSum::with_mode(Arc::clone(&table), PoolMode::Sum, ctx);
+    let input = ragged_input(ctx, salt);
+    let out = sls.run(ctx, &[&input]).unwrap();
+    out.as_dense()
+        .unwrap()
+        .as_slice()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect()
+}
+
+#[test]
+fn empty_segments_pool_to_exact_zero() {
+    for encoding in [RowEncoding::F32, RowEncoding::F16, RowEncoding::Int8] {
+        let dim = 9;
+        let mut ctx = ExecContext::new();
+        let table = store_table(encoding, dim, 13, &mut ctx);
+        let bits = run_sls(table, &mut ctx, 0);
+        // Rows 0, 3, and 6 of the output pool zero ids each.
+        for &seg in &[0usize, 3, 6] {
+            for d in 0..dim {
+                assert_eq!(
+                    bits[seg * dim + d],
+                    0.0f32.to_bits(),
+                    "{encoding:?} segment {seg} dim {d} not +0.0"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_and_store_f32_agree_bitwise() {
+    for &dim in &[1usize, 8, 17, 64] {
+        let mut ctx_d = ExecContext::new();
+        let dense = dense_table(dim, 21, &mut ctx_d);
+        let mut ctx_s = ExecContext::new();
+        let stored = store_table(RowEncoding::F32, dim, 21, &mut ctx_s);
+        assert_eq!(
+            run_sls(dense, &mut ctx_d, 5),
+            run_sls(stored, &mut ctx_s, 5),
+            "dim {dim}"
+        );
+    }
+}
+
+#[test]
+fn sls_is_bit_identical_across_thread_counts_for_every_encoding() {
+    for encoding in [RowEncoding::F32, RowEncoding::F16, RowEncoding::Int8] {
+        for &dim in &[7usize, 32] {
+            let baseline = {
+                let pool = ParPool::new(1);
+                with_pool(&pool, || {
+                    let mut ctx = ExecContext::new();
+                    let table = store_table(encoding, dim, 31, &mut ctx);
+                    run_sls(table, &mut ctx, 9)
+                })
+            };
+            for threads in [2usize, 8] {
+                let pool = ParPool::new(threads);
+                let bits = with_pool(&pool, || {
+                    let mut ctx = ExecContext::new();
+                    let table = store_table(encoding, dim, 31, &mut ctx);
+                    run_sls(table, &mut ctx, 9)
+                });
+                assert_eq!(baseline, bits, "{encoding:?} dim {dim} threads {threads}");
+            }
+        }
+    }
+}

@@ -501,6 +501,7 @@ impl MetricsRegistry {
                 .as_ref()
                 .map(|(s, baseline)| s.stats().since(baseline)),
             models: self.models.iter().map(|c| c.snapshot()).collect(),
+            kernel_backend: drec_tensor::simd::backend_label(),
             uptime_seconds: elapsed,
         }
     }
@@ -569,6 +570,10 @@ pub struct MetricsSnapshot {
     /// level keyed by model name), in registration order. Empty when the
     /// runtime registered no channels.
     pub models: Vec<ModelChannelSnapshot>,
+    /// The process-wide kernel backend the engines dispatch to
+    /// ([`drec_tensor::simd::backend_label`]): `"avx2-fma"`,
+    /// `"avx2-fma+strict-gemm"`, or `"scalar"`.
+    pub kernel_backend: &'static str,
     /// Seconds since the registry was created.
     pub uptime_seconds: f64,
 }

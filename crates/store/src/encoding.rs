@@ -12,6 +12,15 @@
 //! ([`RowEncoding::error_bound`]): the error-bound unit tests encode and
 //! decode adversarial rows and assert the measured max absolute error
 //! never exceeds the documented bound.
+//!
+//! Decode and pooled-sum run through the runtime-dispatched kernels in
+//! [`drec_tensor::simd`] — AVX2/FMA on capable x86_64 hosts, the portable
+//! scalar oracles otherwise (or under `DREC_FORCE_SCALAR=1`). Both paths
+//! are bit-identical by contract (see that module's docs), and every call
+//! reports which path ran ([`drec_tensor::simd::KernelPath`]) so the
+//! store can count vectorized vs scalar decodes.
+
+use drec_tensor::simd;
 
 /// How rows are stored in resident memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,8 +63,12 @@ impl RowEncoding {
     ///   normals plus the subnormal quantum.
     /// * `Int8` — `scale/2 + max|x| · 2⁻²³` where
     ///   `scale = (max − min)/255`: half a quantization step (the
-    ///   rounding in f64 is exact to well below this) plus one f32 ulp
-    ///   for the final cast.
+    ///   rounding in f64 at encode time is exact to well below this)
+    ///   plus one f32 ulp for the decode. The decode contract is a
+    ///   single fused multiply-add `scale.mul_add(q, bias)` — *one*
+    ///   rounding of the exact product-sum, which is strictly tighter
+    ///   than the seed's f64-compute-then-cast path, so the bound is
+    ///   unchanged.
     pub fn error_bound(&self, row: &[f32]) -> f32 {
         match self {
             RowEncoding::F32 => 0.0,
@@ -94,77 +107,11 @@ fn min_max(row: &[f32]) -> (f32, f32) {
     }
 }
 
-/// Converts an `f32` to IEEE 754 binary16 bits with round-to-nearest-even,
-/// saturating overflow to ±65504 (no infinities are produced for finite
-/// inputs, which keeps [`RowEncoding::error_bound`] meaningful).
-pub fn f32_to_f16_bits(x: f32) -> u16 {
-    let bits = x.to_bits();
-    let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xff) as i32;
-    let frac = bits & 0x007f_ffff;
-    if exp == 0xff {
-        // Inf / NaN propagate.
-        return sign | 0x7c00 | u16::from(frac != 0) << 9;
-    }
-    let exp16 = exp - 127 + 15;
-    if exp16 >= 0x1f {
-        // Overflow: saturate to the largest finite binary16 (±65504).
-        return sign | 0x7bff;
-    }
-    if exp16 <= 0 {
-        // Subnormal (or underflow to zero) in binary16.
-        if exp16 < -10 {
-            return sign;
-        }
-        let frac = frac | 0x0080_0000; // restore the implicit leading 1
-        let shift = (14 - exp16) as u32;
-        let val = frac >> shift;
-        let rem = frac & ((1u32 << shift) - 1);
-        let half = 1u32 << (shift - 1);
-        let round_up = rem > half || (rem == half && val & 1 == 1);
-        return sign | (val + u32::from(round_up)) as u16;
-    }
-    // Normal: drop 13 mantissa bits with round-to-nearest-even. A mantissa
-    // carry propagates into the exponent field, which is exactly the
-    // correct behaviour — except at the very top, where it would produce
-    // an infinity; saturate there instead.
-    let val = ((exp16 as u32) << 10) | (frac >> 13);
-    let rem = frac & 0x1fff;
-    let round_up = rem > 0x1000 || (rem == 0x1000 && val & 1 == 1);
-    let val = val + u32::from(round_up);
-    if val >= 0x7c00 {
-        sign | 0x7bff
-    } else {
-        sign | val as u16
-    }
-}
-
-/// Converts IEEE 754 binary16 bits back to `f32` (exact — every binary16
-/// value is representable in binary32).
-pub fn f16_bits_to_f32(h: u16) -> f32 {
-    let sign = u32::from(h & 0x8000) << 16;
-    let exp = (h >> 10) & 0x1f;
-    let frac = u32::from(h & 0x3ff);
-    let bits = if exp == 0 {
-        if frac == 0 {
-            sign // ±0
-        } else {
-            // Subnormal: renormalize into the binary32 exponent range.
-            let mut exp32 = 113u32; // 127 - 15 + 1
-            let mut frac32 = frac;
-            while frac32 & 0x400 == 0 {
-                frac32 <<= 1;
-                exp32 -= 1;
-            }
-            sign | (exp32 << 23) | ((frac32 & 0x3ff) << 13)
-        }
-    } else if exp == 0x1f {
-        sign | 0x7f80_0000 | (frac << 13) // Inf / NaN
-    } else {
-        sign | ((u32::from(exp) + 127 - 15) << 23) | (frac << 13)
-    };
-    f32::from_bits(bits)
-}
+// The software binary16 conversions moved next to their SIMD
+// counterparts in `drec_tensor::simd` (the vector decode must match them
+// bit-for-bit, so they live in one place); re-exported here because they
+// are part of this crate's public API since PR 3.
+pub use drec_tensor::simd::{f16_bits_to_f32, f32_to_f16_bits};
 
 /// The resident storage for one shard's rows in a chosen encoding.
 ///
@@ -212,45 +159,33 @@ impl RowData {
         }
     }
 
-    /// Decodes row `r` into `dst` (length `dim`).
-    pub(crate) fn decode_into(&self, r: usize, dim: usize, dst: &mut [f32]) {
+    /// Decodes row `r` into `dst` (length `dim`), reporting which kernel
+    /// path ran so callers can maintain vector/scalar decode counters.
+    pub(crate) fn decode_into(&self, r: usize, dim: usize, dst: &mut [f32]) -> simd::KernelPath {
         match self {
-            RowData::F32(data) => dst.copy_from_slice(&data[r * dim..(r + 1) * dim]),
-            RowData::F16(data) => {
-                for (d, &h) in dst.iter_mut().zip(&data[r * dim..(r + 1) * dim]) {
-                    *d = f16_bits_to_f32(h);
-                }
-            }
+            RowData::F32(data) => simd::copy_f32_into(&data[r * dim..(r + 1) * dim], dst),
+            RowData::F16(data) => simd::decode_f16_into(&data[r * dim..(r + 1) * dim], dst),
             RowData::Int8 { q, scale, bias } => {
-                let (s, b) = (f64::from(scale[r]), f64::from(bias[r]));
-                for (d, &qv) in dst.iter_mut().zip(&q[r * dim..(r + 1) * dim]) {
-                    *d = (b + f64::from(qv) * s) as f32;
-                }
+                simd::decode_i8_into(&q[r * dim..(r + 1) * dim], scale[r], bias[r], dst)
             }
         }
     }
 
     /// Adds the decoded row `r` element-wise into `acc` without a
-    /// temporary (`acc[i] += decode(row)[i]`, left to right — the same
-    /// reduction a dense-tensor lookup performs, so the `F32` encoding
-    /// stays bit-identical to the direct path).
-    pub(crate) fn sum_into(&self, r: usize, dim: usize, acc: &mut [f32]) {
+    /// temporary (`acc[i] += decode(row)[i]`, element `i` only ever
+    /// combining with element `i` — the same reduction a dense-tensor
+    /// lookup performs, so the `F32` encoding stays bit-identical to the
+    /// direct path, and the vector/scalar kernels stay bit-identical to
+    /// each other). For `Int8`, scale/bias are fetched once per row and
+    /// applied with one fused multiply-add per element (the seed decoded
+    /// through a per-element f64 round-trip); see
+    /// [`drec_tensor::simd`] for the full contract.
+    pub(crate) fn sum_into(&self, r: usize, dim: usize, acc: &mut [f32]) -> simd::KernelPath {
         match self {
-            RowData::F32(data) => {
-                for (a, &v) in acc.iter_mut().zip(&data[r * dim..(r + 1) * dim]) {
-                    *a += v;
-                }
-            }
-            RowData::F16(data) => {
-                for (a, &h) in acc.iter_mut().zip(&data[r * dim..(r + 1) * dim]) {
-                    *a += f16_bits_to_f32(h);
-                }
-            }
+            RowData::F32(data) => simd::sum_f32_into(&data[r * dim..(r + 1) * dim], acc),
+            RowData::F16(data) => simd::sum_f16_into(&data[r * dim..(r + 1) * dim], acc),
             RowData::Int8 { q, scale, bias } => {
-                let (s, b) = (f64::from(scale[r]), f64::from(bias[r]));
-                for (a, &qv) in acc.iter_mut().zip(&q[r * dim..(r + 1) * dim]) {
-                    *a += (b + f64::from(qv) * s) as f32;
-                }
+                simd::sum_i8_into(&q[r * dim..(r + 1) * dim], scale[r], bias[r], acc)
             }
         }
     }
@@ -287,9 +222,11 @@ impl RowData {
 
 /// Quantizes one row into `q`, returning `(scale, bias)`. The arithmetic
 /// runs in f64 so the only significant error sources are the half-step
-/// rounding and the final f32 cast — both covered by
-/// [`RowEncoding::error_bound`].
-fn quantize_row(row: &[f32], q: &mut [u8]) -> (f32, f32) {
+/// rounding and the decode-side fused multiply-add — both covered by
+/// [`RowEncoding::error_bound`]. Public so benchmarks can build raw
+/// quantized buffers for oracle-vs-dispatched comparisons without going
+/// through a store.
+pub fn quantize_row(row: &[f32], q: &mut [u8]) -> (f32, f32) {
     let (min, max) = min_max(row);
     let scale = (max - min) / 255.0;
     if scale <= 0.0 || !scale.is_finite() {

@@ -32,5 +32,5 @@ mod encoding;
 mod store;
 
 pub use cache::{CachePolicy, HotRowCache};
-pub use encoding::{f16_bits_to_f32, f32_to_f16_bits, RowEncoding};
+pub use encoding::{f16_bits_to_f32, f32_to_f16_bits, quantize_row, RowEncoding};
 pub use store::{EmbeddingStore, PinnedTable, StoreConfig, StoreError, StoreStats, TableHandle};

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use drec_faultsim::{FaultHook, ReadFault};
+use drec_tensor::simd::KernelPath;
 
 use crate::cache::{CachePolicy, HotRowCache};
 use crate::encoding::{RowData, RowEncoding};
@@ -168,14 +169,14 @@ impl StoredTable {
         (row / self.rows_per_shard, row % self.rows_per_shard)
     }
 
-    fn sum_into(&self, row: u32, acc: &mut [f32]) {
+    fn sum_into(&self, row: u32, acc: &mut [f32]) -> KernelPath {
         let (s, r) = self.locate(row);
-        read_recover(&self.shards[s]).sum_into(r, self.dim, acc);
+        read_recover(&self.shards[s]).sum_into(r, self.dim, acc)
     }
 
-    fn read_into(&self, row: u32, dst: &mut [f32]) {
+    fn read_into(&self, row: u32, dst: &mut [f32]) -> KernelPath {
         let (s, r) = self.locate(row);
-        read_recover(&self.shards[s]).decode_into(r, self.dim, dst);
+        read_recover(&self.shards[s]).decode_into(r, self.dim, dst)
     }
 
     fn write_row(&self, row: u32, values: &[f32]) {
@@ -202,6 +203,13 @@ pub struct EmbeddingStore {
     index: Mutex<HashMap<(u64, u32), usize>>,
     cache: HotRowCache,
     lookups: AtomicU64,
+    /// Cold-shard decodes served by the vector (AVX2/FMA) kernels.
+    /// Hot-row-cache hits add *decoded* rows and bypass both counters —
+    /// a hit is not a decode, and counting it as one would make the
+    /// kernel-backend mix look busier than the kernels are.
+    decode_vector: AtomicU64,
+    /// Cold-shard decodes served by the portable scalar kernels.
+    decode_scalar: AtomicU64,
     faults: FaultHook,
     /// Degraded mode: serve only from the hot-row cache, skipping cold
     /// shards (see [`EmbeddingStore::set_cache_only`]).
@@ -229,6 +237,8 @@ impl EmbeddingStore {
             index: Mutex::new(HashMap::new()),
             cache,
             lookups: AtomicU64::new(0),
+            decode_vector: AtomicU64::new(0),
+            decode_scalar: AtomicU64::new(0),
             faults,
             cache_only: AtomicBool::new(false),
             cache_only_skips: AtomicU64::new(0),
@@ -353,7 +363,18 @@ impl EmbeddingStore {
             cache_resident_rows: self.cache.resident_rows(),
             cache_capacity_rows: self.cache.capacity_rows() as u64,
             cache_only_skips: self.cache_only_skips.load(Ordering::Relaxed),
+            decode_vector: self.decode_vector.load(Ordering::Relaxed),
+            decode_scalar: self.decode_scalar.load(Ordering::Relaxed),
         }
+    }
+
+    /// Tallies one cold-shard decode into the vector/scalar counter pair.
+    #[inline]
+    fn tally_decode(&self, path: KernelPath) {
+        match path {
+            KernelPath::Vector => self.decode_vector.fetch_add(1, Ordering::Relaxed),
+            KernelPath::Scalar => self.decode_scalar.fetch_add(1, Ordering::Relaxed),
+        };
     }
 }
 
@@ -426,12 +447,15 @@ impl PinnedTable {
         let cache = &self.store.cache;
         if !cache.enabled() {
             if !self.before_cold_read(row) {
-                self.table.sum_into(row, acc);
+                let path = self.table.sum_into(row, acc);
+                self.store.tally_decode(path);
             }
             return;
         }
         let key = self.key(row);
         let hit = cache.with_row(key, |cached| {
+            // Cache hit: rows are cached *decoded*, so no kernel runs and
+            // neither decode counter moves.
             for (a, &v) in acc.iter_mut().zip(cached) {
                 *a += v;
             }
@@ -444,7 +468,8 @@ impl PinnedTable {
                 return;
             }
             let mut decoded = vec![0.0f32; self.table.dim].into_boxed_slice();
-            self.table.read_into(row, &mut decoded);
+            let path = self.table.read_into(row, &mut decoded);
+            self.store.tally_decode(path);
             for (a, &v) in acc.iter_mut().zip(decoded.iter()) {
                 *a += v;
             }
@@ -464,7 +489,8 @@ impl PinnedTable {
             if self.before_cold_read(row) {
                 dst.fill(0.0);
             } else {
-                self.table.read_into(row, dst);
+                let path = self.table.read_into(row, dst);
+                self.store.tally_decode(path);
             }
             return;
         }
@@ -475,7 +501,8 @@ impl PinnedTable {
                 dst.fill(0.0);
                 return;
             }
-            self.table.read_into(row, dst);
+            let path = self.table.read_into(row, dst);
+            self.store.tally_decode(path);
             cache.insert(key, dst.to_vec().into_boxed_slice());
         }
     }
@@ -533,6 +560,11 @@ pub struct StoreStats {
     /// store's quality-loss counter: each skip dropped one row's
     /// contribution from a pooled lookup (or zero-filled a copy).
     pub cache_only_skips: u64,
+    /// Cold-shard row decodes served by the vector (AVX2/FMA) kernels.
+    /// Hot-row-cache hits are *not* decodes and move neither counter.
+    pub decode_vector: u64,
+    /// Cold-shard row decodes served by the portable scalar kernels.
+    pub decode_scalar: u64,
 }
 
 impl StoreStats {
@@ -545,7 +577,20 @@ impl StoreStats {
             cache_misses: self.cache_misses.saturating_sub(base.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(base.cache_evictions),
             cache_only_skips: self.cache_only_skips.saturating_sub(base.cache_only_skips),
+            decode_vector: self.decode_vector.saturating_sub(base.decode_vector),
+            decode_scalar: self.decode_scalar.saturating_sub(base.decode_scalar),
             ..self.clone()
+        }
+    }
+
+    /// Fraction of cold-shard decodes that ran on the vector kernels
+    /// (0 when nothing was decoded) — the kernel-backend mix for a run.
+    pub fn vector_decode_fraction(&self) -> f64 {
+        let total = self.decode_vector + self.decode_scalar;
+        if total == 0 {
+            0.0
+        } else {
+            self.decode_vector as f64 / total as f64
         }
     }
 

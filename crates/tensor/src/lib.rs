@@ -11,6 +11,11 @@
 //! for every thread count, so traces and characterization results never
 //! depend on `DREC_THREADS`.
 //!
+//! The [`simd`] module adds runtime-dispatched AVX2/FMA kernels for the
+//! quantized-row hot loops and the GEMM dot cell, with portable scalar
+//! oracles and a `DREC_FORCE_SCALAR=1` override; see its docs for the
+//! bit-identity contracts.
+//!
 //! # Example
 //!
 //! ```
@@ -29,11 +34,12 @@ mod error;
 mod init;
 mod linalg;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use error::TensorError;
 pub use init::ParamInit;
-pub use linalg::gemm_transposed;
+pub use linalg::{gemm_transposed, gemm_transposed_scalar};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

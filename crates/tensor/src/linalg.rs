@@ -12,6 +12,12 @@
 //! are bit-identical to sequential ones, and `DREC_THREADS=1` degrades to
 //! plain in-order execution.
 //!
+//! On AVX2+FMA hosts the dot cells are replaced wholesale by the 8-lane
+//! FMA micro-kernel in [`crate::simd::x86`] (same fixed reduction order
+//! at wider lanes, so thread-count bit-identity is preserved); the scalar
+//! blocked kernel remains reachable via [`gemm_transposed_scalar`] and is
+//! what `DREC_GEMM_STRICT=1` pins.
+//!
 //! The previous scalar kernels are kept as [`Tensor::matmul_reference`] /
 //! [`Tensor::matmul_transposed_reference`]: they are the oracle for
 //! property tests and the "old" side of `kernel_bench`'s old-vs-new
@@ -151,18 +157,42 @@ fn gemm_t_rows(a: &[f32], b: &[f32], k: usize, n: usize, r0: usize, out_rows: &m
     }
 }
 
-/// `out = A · Bᵀ` on raw row-major buffers: `a` is `[m, k]`, `b` is
-/// `[n, k]`, `out` is `[m, n]`.
-///
-/// Row blocks are distributed over the current [`drec_par`] pool; results
-/// are bit-identical for every thread count (see the module docs). This
-/// free-function form exists so operators can run repeated products into
-/// arena-recycled buffers without constructing intermediate tensors.
-///
-/// # Panics
-///
-/// Panics if the slice lengths disagree with `m`, `k`, `n`.
-pub fn gemm_transposed(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+/// Runs one row-chunk through the selected dot-cell kernel: the FMA
+/// micro-kernel when the dispatch probe enabled it, the scalar blocked
+/// kernel otherwise. Selection happens once per product (the flag is
+/// resolved by [`crate::simd::gemm_fma_enabled`] at first use), so there
+/// is no per-cell branch.
+#[inline]
+fn gemm_t_rows_dispatch(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    r0: usize,
+    out_rows: &mut [f32],
+    use_fma: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_fma {
+        // SAFETY: `use_fma` is only true when the runtime probe confirmed
+        // AVX2+FMA, and the slice geometry matches `gemm_t_rows`'s.
+        unsafe { crate::simd::x86::gemm_t_rows_fma(a, b, k, n, r0, out_rows) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_fma;
+    gemm_t_rows(a, b, k, n, r0, out_rows);
+}
+
+fn gemm_transposed_impl(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    use_fma: bool,
+) {
     assert_eq!(a.len(), m * k, "lhs buffer size");
     assert_eq!(b.len(), n * k, "rhs buffer size");
     assert_eq!(out.len(), m * n, "output buffer size");
@@ -175,7 +205,7 @@ pub fn gemm_transposed(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: 
     }
     let pool = drec_par::current();
     if pool.threads() == 1 || m * k * n < PAR_MIN_WORK {
-        gemm_t_rows(a, b, k, n, 0, out);
+        gemm_t_rows_dispatch(a, b, k, n, 0, out, use_fma);
         return;
     }
     // Chunk rows in units of the register block so block membership (and
@@ -184,8 +214,39 @@ pub fn gemm_transposed(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: 
     let quads_per_chunk = quads.div_ceil(pool.threads() * CHUNKS_PER_THREAD).max(1);
     let rows_per_chunk = quads_per_chunk * MR;
     pool.for_each_chunk_mut(out, rows_per_chunk * n, |offset, out_rows| {
-        gemm_t_rows(a, b, k, n, offset / n, out_rows);
+        gemm_t_rows_dispatch(a, b, k, n, offset / n, out_rows, use_fma);
     });
+}
+
+/// `out = A · Bᵀ` on raw row-major buffers: `a` is `[m, k]`, `b` is
+/// `[n, k]`, `out` is `[m, n]`.
+///
+/// Row blocks are distributed over the current [`drec_par`] pool; results
+/// are bit-identical for every thread count (see the module docs). On
+/// AVX2+FMA hosts the dot cells run the 8-lane FMA micro-kernel (see
+/// [`crate::simd`]) unless `DREC_FORCE_SCALAR=1` or `DREC_GEMM_STRICT=1`
+/// pins the scalar blocked kernel. This free-function form exists so
+/// operators can run repeated products into arena-recycled buffers
+/// without constructing intermediate tensors.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn gemm_transposed(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    gemm_transposed_impl(a, b, m, k, n, out, crate::simd::gemm_fma_enabled());
+}
+
+/// [`gemm_transposed`] pinned to the scalar blocked kernel regardless of
+/// the dispatch probe — the accuracy oracle for the FMA GEMM's ULP gate
+/// and the "scalar" side of `kernel_bench`'s speedup measurement. Output
+/// is bit-identical to [`gemm_transposed`] under `DREC_GEMM_STRICT=1`
+/// (or on non-AVX2 hosts).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn gemm_transposed_scalar(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    gemm_transposed_impl(a, b, m, k, n, out, false);
 }
 
 impl Tensor {

@@ -1,0 +1,49 @@
+//! Portable scalar kernels — the bit-identity oracles.
+//!
+//! These are the reference implementations every vector kernel in
+//! `super::x86` must match bit-for-bit (see the reduction-order
+//! contract in the [module docs](super)). They are also the dispatch
+//! target on non-x86_64 hosts and under `DREC_FORCE_SCALAR=1`.
+//!
+//! Keep these loops boring: one IEEE operation per element in index
+//! order, no compiler-visible reassociation, scale/bias applied with a
+//! single `f32::mul_add` so the fused-rounding contract is shared with
+//! the AVX2 `vfmadd` path.
+
+use super::f16_bits_to_f32;
+
+/// `acc[i] += row[i]`, one IEEE add per element.
+pub fn sum_f32_into(row: &[f32], acc: &mut [f32]) {
+    for (a, &v) in acc.iter_mut().zip(row) {
+        *a += v;
+    }
+}
+
+/// `dst[i] = decode(bits[i])` — exact binary16→binary32 conversion.
+pub fn decode_f16_into(bits: &[u16], dst: &mut [f32]) {
+    for (d, &h) in dst.iter_mut().zip(bits) {
+        *d = f16_bits_to_f32(h);
+    }
+}
+
+/// `acc[i] += decode(bits[i])`.
+pub fn sum_f16_into(bits: &[u16], acc: &mut [f32]) {
+    for (a, &h) in acc.iter_mut().zip(bits) {
+        *a += f16_bits_to_f32(h);
+    }
+}
+
+/// `dst[i] = scale.mul_add(q[i] as f32, bias)` — the fused form is the
+/// contract: a single rounding per element, matching `_mm256_fmadd_ps`.
+pub fn decode_i8_into(q: &[u8], scale: f32, bias: f32, dst: &mut [f32]) {
+    for (d, &qv) in dst.iter_mut().zip(q) {
+        *d = scale.mul_add(f32::from(qv), bias);
+    }
+}
+
+/// `acc[i] += scale.mul_add(q[i] as f32, bias)`.
+pub fn sum_i8_into(q: &[u8], scale: f32, bias: f32, acc: &mut [f32]) {
+    for (a, &qv) in acc.iter_mut().zip(q) {
+        *a += scale.mul_add(f32::from(qv), bias);
+    }
+}

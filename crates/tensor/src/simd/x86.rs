@@ -1,0 +1,305 @@
+//! AVX2/FMA vector kernels (x86_64 only).
+//!
+//! Every function here carries `#[target_feature(enable = "avx2",
+//! enable = "fma")]` and must only be reached through the dispatch
+//! wrappers in [`super`], which verify the features once per process.
+//! Row kernels are bit-identical to the [`super::scalar`] oracles; the
+//! GEMM kernels follow the fixed-reduction-order design of
+//! `linalg::dot_cell` at 8-lane width (see the module docs in [`super`]
+//! for the exact contracts).
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use std::arch::x86_64::*;
+
+const LANES: usize = 8;
+
+/// `acc[i] += row[i]` at 8 lanes per iteration; the tail runs the scalar
+/// expression. Per-element IEEE adds, so bit-identical to the oracle.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `row.len() == acc.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn sum_f32_into(row: &[f32], acc: &mut [f32]) {
+    let n = row.len();
+    let vec_n = n - n % LANES;
+    let rp = row.as_ptr();
+    let ap = acc.as_mut_ptr();
+    let mut i = 0;
+    while i < vec_n {
+        let r = _mm256_loadu_ps(rp.add(i));
+        let a = _mm256_loadu_ps(ap.add(i));
+        _mm256_storeu_ps(ap.add(i), _mm256_add_ps(a, r));
+        i += LANES;
+    }
+    for j in vec_n..n {
+        acc[j] += row[j];
+    }
+}
+
+/// Decodes 8 binary16 values to binary32 bits without F16C.
+///
+/// The exponent+mantissa field is shifted into binary32 position and
+/// scaled by the exact power of two `2¹¹²` (bits `0x7780_0000`), which
+/// fixes up the exponent bias for normals *and* renormalizes binary16
+/// subnormals in the same multiply — both cases are exact, so the result
+/// is bit-identical to [`super::f16_bits_to_f32`]. Inf/NaN inputs
+/// (`exp == 0x1f`) would be mangled by the multiply, so they are patched
+/// in with a compare/blend: `0x7f80_0000 | (frac << 13)` preserves the
+/// NaN payload exactly as the scalar conversion does. The sign bit is
+/// OR-ed back at the end.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn decode8_f16(h: __m128i) -> __m256 {
+    let w = _mm256_cvtepu16_epi32(h);
+    let sign = _mm256_slli_epi32(_mm256_and_si256(w, _mm256_set1_epi32(0x8000)), 16);
+    let em = _mm256_slli_epi32(_mm256_and_si256(w, _mm256_set1_epi32(0x7fff)), 13);
+    let magic = _mm256_set1_ps(f32::from_bits(0x7780_0000)); // 2^112, exact scale
+    let val = _mm256_castps_si256(_mm256_mul_ps(_mm256_castsi256_ps(em), magic));
+    // exp == 0x1f ⇒ Inf/NaN: em already holds (0x1f << 23) | (frac << 13),
+    // so OR-ing 0x7000_0000 yields 0x7f80_0000 | (frac << 13).
+    let exp_mask = _mm256_set1_epi32(0x7c00);
+    let is_special = _mm256_cmpeq_epi32(_mm256_and_si256(w, exp_mask), exp_mask);
+    let special = _mm256_or_si256(em, _mm256_set1_epi32(0x7000_0000));
+    let merged = _mm256_blendv_epi8(val, special, is_special);
+    _mm256_castsi256_ps(_mm256_or_si256(merged, sign))
+}
+
+/// `dst[i] = decode(bits[i])`, 8 lanes at a time.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `bits.len() == dst.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn decode_f16_into(bits: &[u16], dst: &mut [f32]) {
+    let n = bits.len();
+    let vec_n = n - n % LANES;
+    let bp = bits.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let mut i = 0;
+    while i < vec_n {
+        let h = _mm_loadu_si128(bp.add(i).cast());
+        _mm256_storeu_ps(dp.add(i), decode8_f16(h));
+        i += LANES;
+    }
+    for j in vec_n..n {
+        dst[j] = super::f16_bits_to_f32(bits[j]);
+    }
+}
+
+/// `acc[i] += decode(bits[i])`, 8 lanes at a time.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `bits.len() == acc.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn sum_f16_into(bits: &[u16], acc: &mut [f32]) {
+    let n = bits.len();
+    let vec_n = n - n % LANES;
+    let bp = bits.as_ptr();
+    let ap = acc.as_mut_ptr();
+    let mut i = 0;
+    while i < vec_n {
+        let h = _mm_loadu_si128(bp.add(i).cast());
+        let a = _mm256_loadu_ps(ap.add(i));
+        _mm256_storeu_ps(ap.add(i), _mm256_add_ps(a, decode8_f16(h)));
+        i += LANES;
+    }
+    for j in vec_n..n {
+        acc[j] += super::f16_bits_to_f32(bits[j]);
+    }
+}
+
+/// Widens 8 quantized bytes to i32 lanes and converts to f32 — both
+/// steps exact (`q ≤ 255 ≪ 2²⁴`). This is the "accumulate in i32 lanes"
+/// half of the int8 contract; the caller applies scale/bias with one
+/// fused multiply-add per element.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn widen8_u8(q: __m128i) -> __m256 {
+    _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(q))
+}
+
+/// `dst[i] = scale.mul_add(q[i] as f32, bias)`, 8 lanes at a time. The
+/// scale/bias registers are splat once per call (once per row).
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and `q.len() == dst.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn decode_i8_into(q: &[u8], scale: f32, bias: f32, dst: &mut [f32]) {
+    let n = q.len();
+    let vec_n = n - n % LANES;
+    let qp = q.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let sv = _mm256_set1_ps(scale);
+    let bv = _mm256_set1_ps(bias);
+    let mut i = 0;
+    while i < vec_n {
+        let qf = widen8_u8(_mm_loadl_epi64(qp.add(i).cast()));
+        _mm256_storeu_ps(dp.add(i), _mm256_fmadd_ps(sv, qf, bv));
+        i += LANES;
+    }
+    for j in vec_n..n {
+        dst[j] = scale.mul_add(f32::from(q[j]), bias);
+    }
+}
+
+/// `acc[i] += scale.mul_add(q[i] as f32, bias)`, 8 lanes at a time.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and `q.len() == acc.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn sum_i8_into(q: &[u8], scale: f32, bias: f32, acc: &mut [f32]) {
+    let n = q.len();
+    let vec_n = n - n % LANES;
+    let qp = q.as_ptr();
+    let ap = acc.as_mut_ptr();
+    let sv = _mm256_set1_ps(scale);
+    let bv = _mm256_set1_ps(bias);
+    let mut i = 0;
+    while i < vec_n {
+        let qf = widen8_u8(_mm_loadl_epi64(qp.add(i).cast()));
+        let dec = _mm256_fmadd_ps(sv, qf, bv);
+        let a = _mm256_loadu_ps(ap.add(i));
+        _mm256_storeu_ps(ap.add(i), _mm256_add_ps(a, dec));
+        i += LANES;
+    }
+    for j in vec_n..n {
+        acc[j] += scale.mul_add(f32::from(q[j]), bias);
+    }
+}
+
+/// Fixed-order horizontal sum of 8 lanes: the 128-bit halves are added
+/// lane-wise (`l + l+4`), then `movehl`/`shuffle` fold pairs. Every GEMM
+/// output cell reduces through this exact sequence, which is what makes
+/// the FMA GEMM bit-identical across blocking and thread count.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum8(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    _mm_cvtss_f32(s)
+}
+
+/// 8-lane FMA dot product: one `vfmaddps` accumulator over the body,
+/// [`hsum8`] combine, plain multiply-add scalar tail. This is the single
+/// reduction sequence every cell of the FMA GEMM uses.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and `a.len() == b.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
+    let k = a.len();
+    let kc = k - k % LANES;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut p = 0;
+    while p < kc {
+        let av = _mm256_loadu_ps(ap.add(p));
+        let bv = _mm256_loadu_ps(bp.add(p));
+        acc = _mm256_fmadd_ps(av, bv, acc);
+        p += LANES;
+    }
+    let mut sum = hsum8(acc);
+    for q in kc..k {
+        sum += a[q] * b[q];
+    }
+    sum
+}
+
+/// Rows `r0..r0 + out_rows.len()/n` of `A · Bᵀ` with the FMA micro-kernel.
+///
+/// Mirrors `linalg::gemm_t_rows`: a 4×4 register block (16 ymm
+/// accumulators, each loaded A/B chunk shared across a row/column of
+/// cells) with [`dot_fma`]-identical per-cell reduction, plus edge
+/// row/column fallbacks that call [`dot_fma`] directly. Because every
+/// cell reduces through the same sequence regardless of which path
+/// computes it, output bits do not depend on blocking or chunk
+/// boundaries — the thread-count bit-identity argument of the scalar
+/// kernel carries over unchanged.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and the slice geometry
+/// matches `linalg::gemm_t_rows`'s contract (`a` row-major `[m, k]`, `b`
+/// row-major `[n, k]`, `out_rows.len()` a multiple of `n`).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn gemm_t_rows_fma(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    r0: usize,
+    out_rows: &mut [f32],
+) {
+    const MR: usize = 4;
+    const NR: usize = 4;
+    debug_assert_eq!(out_rows.len() % n.max(1), 0);
+    let rows = out_rows.len() / n;
+    let kc = k - k % LANES;
+    let mut i = 0;
+    while i + MR <= rows {
+        let ar: [&[f32]; MR] = [
+            &a[(r0 + i) * k..(r0 + i + 1) * k],
+            &a[(r0 + i + 1) * k..(r0 + i + 2) * k],
+            &a[(r0 + i + 2) * k..(r0 + i + 3) * k],
+            &a[(r0 + i + 3) * k..(r0 + i + 4) * k],
+        ];
+        let mut j = 0;
+        while j + NR <= n {
+            let br: [&[f32]; NR] = [
+                &b[j * k..(j + 1) * k],
+                &b[(j + 1) * k..(j + 2) * k],
+                &b[(j + 2) * k..(j + 3) * k],
+                &b[(j + 3) * k..(j + 4) * k],
+            ];
+            let mut acc = [[_mm256_setzero_ps(); NR]; MR];
+            let mut p = 0;
+            while p < kc {
+                let bv = [
+                    _mm256_loadu_ps(br[0].as_ptr().add(p)),
+                    _mm256_loadu_ps(br[1].as_ptr().add(p)),
+                    _mm256_loadu_ps(br[2].as_ptr().add(p)),
+                    _mm256_loadu_ps(br[3].as_ptr().add(p)),
+                ];
+                for (di, arow) in ar.iter().enumerate() {
+                    let av = _mm256_loadu_ps(arow.as_ptr().add(p));
+                    for (dj, &bvj) in bv.iter().enumerate() {
+                        acc[di][dj] = _mm256_fmadd_ps(av, bvj, acc[di][dj]);
+                    }
+                }
+                p += LANES;
+            }
+            for (di, arow) in ar.iter().enumerate() {
+                for (dj, brow) in br.iter().enumerate() {
+                    let mut sum = hsum8(acc[di][dj]);
+                    for q in kc..k {
+                        sum += arow[q] * brow[q];
+                    }
+                    out_rows[(i + di) * n + j + dj] = sum;
+                }
+            }
+            j += NR;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            for (di, arow) in ar.iter().enumerate() {
+                out_rows[(i + di) * n + j] = dot_fma(arow, brow);
+            }
+            j += 1;
+        }
+        i += MR;
+    }
+    while i < rows {
+        let arow = &a[(r0 + i) * k..(r0 + i + 1) * k];
+        for j in 0..n {
+            out_rows[i * n + j] = dot_fma(arow, &b[j * k..(j + 1) * k]);
+        }
+        i += 1;
+    }
+}

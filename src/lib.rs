@@ -6,6 +6,7 @@
 //!
 //! * [`tensor`] — dense f32 tensors and linear algebra,
 //! * [`ops`] — the deep-learning operator library (FC, SparseLengthsSum, …),
+//! * [`par`] — the shared worker thread pool used by kernels and serving,
 //! * [`graph`] — operator graphs, execution, profiling, framework dialects,
 //! * [`models`] — the eight industry-representative recommendation models,
 //! * [`workload`] — synthetic inference query generation,
@@ -41,6 +42,7 @@ pub use drec_graph as graph;
 pub use drec_hwsim as hwsim;
 pub use drec_models as models;
 pub use drec_ops as ops;
+pub use drec_par as par;
 pub use drec_serve as serve;
 pub use drec_store as store;
 pub use drec_tensor as tensor;
