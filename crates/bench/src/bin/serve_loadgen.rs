@@ -21,6 +21,7 @@ use drec_sched::{DecisionSnapshot, GpuSchedConfig, ModelSlo, MultiServeRuntime, 
 use drec_serve::{
     EmbeddingStore, Engine, MetricsSnapshot, RowEncoding, ServeConfig, ServeRuntime, StoreConfig,
 };
+use drec_store::{CombineConfig, TierConfig};
 use drec_workload::QueryGen;
 
 const MAX_BATCH: usize = 64;
@@ -187,7 +188,17 @@ fn main() {
     // All workers share one int8-quantized parameter store, hot-row
     // cache sized to ~10% of RM1's physical embedding rows (3 tables ×
     // 1000 rows at Tiny scale, 8 tables × the 4096-row physical cap at
-    // Paper scale).
+    // Paper scale). The store is tiered — DRAM budget of 25% of the
+    // physical rows, the rest modelled as SSD-resident — with stream
+    // prefetch on, so the runtime pulls admitted queries' rows ahead of
+    // batch drain. The cold-read model charges virtual nanoseconds
+    // (Pacing::Charge), so tiering shows up in the store counters
+    // without perturbing the wall-clock agreement check.
+    let total_rows: usize = if args.scale == ModelScale::Tiny {
+        3 * 1000
+    } else {
+        8 * 4096
+    };
     let store_cfg = StoreConfig {
         encoding: RowEncoding::Int8,
         cache_capacity_rows: if args.scale == ModelScale::Tiny {
@@ -195,6 +206,11 @@ fn main() {
         } else {
             3276
         },
+        tier: Some({
+            let mut tier = TierConfig::new(total_rows / 4);
+            tier.prefetch = true;
+            tier
+        }),
         ..StoreConfig::default()
     };
     println!("Calibrating wall-clock latency curve ({workers} concurrent engines)...");
@@ -383,6 +399,28 @@ fn main() {
                 s.vector_decode_fraction() * 100.0,
                 (1.0 - s.vector_decode_fraction()) * 100.0
             );
+            if s.tier_dram_budget_rows > 0 {
+                println!(
+                    "  tier: {}/{} rows DRAM-resident (budget {}), {:.0}% combined DRAM \
+                     hit rate, {} cold demand reads, mean demand wait {:.2} µs",
+                    s.tier_dram_resident_rows,
+                    s.rows,
+                    s.tier_dram_budget_rows,
+                    s.combined_dram_hit_rate() * 100.0,
+                    s.tier_cold_demand_reads,
+                    s.mean_demand_wait_nanos() / 1e3
+                );
+                println!(
+                    "  prefetch: {} issued, {} fills; {} hits / {} late / {} wasted \
+                     ({:.0}% of would-be cold misses converted)",
+                    s.prefetch_issued,
+                    s.prefetch_fills,
+                    s.prefetch_hits,
+                    s.prefetch_late,
+                    s.prefetch_wasted,
+                    s.prefetch_conversion() * 100.0
+                );
+            }
         }
         (rows, ratio, sustained_qps)
     };
@@ -505,6 +543,22 @@ fn run_multi_model(quick: bool, workers: usize, workload_gen: &std::cell::RefCel
         pcie_extra_s: 2.0e-6,
         backlog_capacity: 256,
     });
+    // All eight models share one tiered, int8-quantized store: a DRAM
+    // budget of 25% of the co-located rows (the rest modelled as SSD)
+    // with the table-combining cache on, so hot co-occurring row pairs of
+    // the multi-table models collapse into single lookups. Residency is
+    // demand-driven here — the scheduler path has no stream prefetcher.
+    cfg.store = Some(StoreConfig {
+        encoding: RowEncoding::Int8,
+        cache_capacity_rows: 1024,
+        tier: Some({
+            let mut tier = TierConfig::new(4096);
+            tier.combine = Some(CombineConfig::default());
+            tier
+        }),
+        ..StoreConfig::default()
+    });
+    let sched_seed = cfg.seed;
     println!(
         "\nMulti-model co-location: {} models on {} shared CPU worker(s) + \
          simulated accelerator ({} queries, Tiny scale, Zipf model popularity)",
@@ -513,6 +567,7 @@ fn run_multi_model(quick: bool, workers: usize, workload_gen: &std::cell::RefCel
         queries
     );
     let runtime = MultiServeRuntime::start(cfg).expect("scheduler starts");
+    let shared_store = runtime.store().cloned();
     let handle = runtime.handle();
     let specs: Vec<_> = ModelId::ALL
         .iter()
@@ -570,6 +625,53 @@ fn run_multi_model(quick: bool, workers: usize, workload_gen: &std::cell::RefCel
     println!("{}", table.render());
     if shed > 0 {
         println!("  ({shed} arrivals shed at admission)");
+    }
+    if let Some(store) = &shared_store {
+        // Per-model tier residency: each model registered its tables
+        // under a namespace derived from (model, scale, seed), so the
+        // store can answer "how much of model X is in DRAM" directly.
+        let mut residency = Table::new(vec![
+            "Model".into(),
+            "Rows".into(),
+            "DRAM-resident".into(),
+            "Residency".into(),
+        ]);
+        for &id in &ModelId::ALL {
+            let ns = drec_models::store_namespace(id, ModelScale::Tiny, sched_seed);
+            let (resident, total) = store.namespace_residency(ns);
+            residency.row(vec![
+                id.name().into(),
+                total.to_string(),
+                resident.to_string(),
+                format!(
+                    "{:.0}%",
+                    if total > 0 {
+                        resident as f64 / total as f64 * 100.0
+                    } else {
+                        0.0
+                    }
+                ),
+            ]);
+        }
+        println!("Per-model DRAM tier residency (shared tiered store):");
+        println!("{}", residency.render());
+        let s = store.stats();
+        println!(
+            "  tier: {}/{} rows DRAM-resident (budget {}), {:.0}% combined DRAM hit \
+             rate, {} cold demand reads",
+            s.tier_dram_resident_rows,
+            s.rows,
+            s.tier_dram_budget_rows,
+            s.combined_dram_hit_rate() * 100.0,
+            s.tier_cold_demand_reads
+        );
+        println!(
+            "  combining: {} resident pairs, {} hits ({} lookups saved, {:.1}% cut)",
+            s.combined_resident_pairs,
+            s.combined_hits,
+            s.combined_lookups_saved,
+            s.combined_lookup_cut() * 100.0
+        );
     }
     println!("Scheduler decisions (batches per power-of-two size bucket):");
     for d in &report.decisions {

@@ -39,5 +39,5 @@ mod spec;
 pub use custom::CustomDlrm;
 pub use features::ArchFeatures;
 pub use meta::ModelMeta;
-pub use model::{ModelId, ModelScale, RecModel};
+pub use model::{store_namespace, ModelId, ModelScale, RecModel, StoreBinding};
 pub use spec::{InputSlot, InputSpec};

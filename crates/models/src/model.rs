@@ -89,8 +89,11 @@ impl ModelId {
 }
 
 /// FNV-1a over the build identity (model name, scale discriminant, seed):
-/// one registration namespace per distinct build configuration.
-fn store_namespace(id: ModelId, scale: ModelScale, seed: u64) -> u64 {
+/// one registration namespace per distinct build configuration. This is
+/// the namespace [`ModelId::build_with_store`] registers tables under, so
+/// reporting code can ask the store per-model questions (e.g.
+/// `EmbeddingStore::namespace_residency`) for any build it can name.
+pub fn store_namespace(id: ModelId, scale: ModelScale, seed: u64) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |byte: u8| {
         h ^= u64::from(byte);
@@ -125,6 +128,21 @@ pub enum ModelScale {
     Paper,
 }
 
+/// One sparse-lookup op whose ids come straight from a graph input and
+/// whose table lives in a shared [`drec_store::EmbeddingStore`]: the
+/// contract the serving runtime needs to stream-prefetch rows for a query
+/// it has admitted but not yet executed.
+#[derive(Debug, Clone)]
+pub struct StoreBinding {
+    /// Index into the model's input vector where this lookup's ids arrive.
+    pub input_index: usize,
+    /// The pinned store table those ids resolve against.
+    pub pin: drec_store::PinnedTable,
+    /// Physical row count — virtual ids reduce modulo this before any
+    /// store access, so prefetch must apply the same reduction.
+    pub physical_rows: u32,
+}
+
 /// A built recommendation model: its operator graph, the simulated process
 /// it lives in, its input contract, and its Table I metadata.
 #[derive(Debug)]
@@ -157,6 +175,52 @@ impl RecModel {
     /// Table I metadata and Fig 16 features.
     pub fn meta(&self) -> &ModelMeta {
         &self.meta
+    }
+
+    /// Store-backed sparse-lookup bindings: every `SparseLengthsSum` or
+    /// `EmbeddingGather` whose ids input is a graph input and whose table
+    /// resolves through an [`drec_store::EmbeddingStore`]. Empty for
+    /// dense builds. Ops sharing one `(input, table)` pair are reported
+    /// once — prefetching a row twice is a no-op but costs a lock.
+    pub fn store_bindings(&self) -> Vec<StoreBinding> {
+        use drec_ops::{EmbeddingGather, EmbeddingTable, SparseLengthsSum};
+
+        let input_ids = self.graph.input_ids();
+        let mut seen: Vec<(usize, *const EmbeddingTable)> = Vec::new();
+        let mut bindings = Vec::new();
+        for node in self.graph.nodes() {
+            let Some(any) = node.op().as_any() else {
+                continue;
+            };
+            let table: &std::sync::Arc<EmbeddingTable> =
+                if let Some(sls) = any.downcast_ref::<SparseLengthsSum>() {
+                    sls.table()
+                } else if let Some(gather) = any.downcast_ref::<EmbeddingGather>() {
+                    gather.table()
+                } else {
+                    continue;
+                };
+            let Some(pin) = table.store_pin() else {
+                continue;
+            };
+            let Some(&ids_vid) = node.inputs().first() else {
+                continue;
+            };
+            let Some(input_index) = input_ids.iter().position(|&v| v == ids_vid) else {
+                continue;
+            };
+            let dedup_key = (input_index, std::sync::Arc::as_ptr(table));
+            if seen.contains(&dedup_key) {
+                continue;
+            }
+            seen.push(dedup_key);
+            bindings.push(StoreBinding {
+                input_index,
+                pin: pin.clone(),
+                physical_rows: table.physical_rows() as u32,
+            });
+        }
+        bindings
     }
 
     /// Sets the per-op retained-memory-event target for traced runs.

@@ -195,6 +195,58 @@ impl EmbeddingTable {
         matches!(self.backing, Backing::Store(_))
     }
 
+    /// The store pin backing this table, when store-backed.
+    pub fn store_pin(&self) -> Option<&PinnedTable> {
+        match &self.backing {
+            Backing::Store(pin) => Some(pin),
+            Backing::Dense(_) => None,
+        }
+    }
+
+    /// The physical row a virtual `id` resolves to.
+    pub fn physical_row(&self, id: u32) -> u32 {
+        ((id as usize) % self.physical_rows) as u32
+    }
+
+    /// Whether a pooled lookup pair across `self` and `other` can be
+    /// served by the table-combining cache: both store-backed, same
+    /// store, combining configured.
+    pub(crate) fn combinable_with(&self, other: &EmbeddingTable) -> bool {
+        match (&self.backing, &other.backing) {
+            (Backing::Store(a), Backing::Store(b)) => {
+                Arc::ptr_eq(a.store(), b.store()) && a.store().combining_enabled()
+            }
+            _ => false,
+        }
+    }
+
+    /// Adds `self[id]` into `acc` and `other[other_id]` into `other_acc`
+    /// through the store's table-combining cache when both tables share a
+    /// combining store ([`PinnedTable::sum_row_pair`]); otherwise two
+    /// plain [`EmbeddingTable::sum_row`] calls. Either way the adds are
+    /// bit-identical to the unpaired path.
+    pub(crate) fn sum_row_pair(
+        &self,
+        id: u32,
+        acc: &mut [f32],
+        other: &EmbeddingTable,
+        other_id: u32,
+        other_acc: &mut [f32],
+    ) {
+        if let (Backing::Store(pa), Backing::Store(pb)) = (&self.backing, &other.backing) {
+            pa.sum_row_pair(
+                self.physical_row(id),
+                acc,
+                pb,
+                other.physical_row(other_id),
+                other_acc,
+            );
+            return;
+        }
+        self.sum_row(id, acc);
+        other.sum_row(other_id, other_acc);
+    }
+
     /// Bytes of parameters at the *virtual* size (what a production
     /// deployment would hold).
     pub fn virtual_bytes(&self) -> u64 {
@@ -513,11 +565,20 @@ impl EmbeddingGather {
             kernel: ctx.kernel_region(OpKind::Gather),
         }
     }
+
+    /// The table gathered from.
+    pub fn table(&self) -> &Arc<EmbeddingTable> {
+        &self.table
+    }
 }
 
 impl Operator for EmbeddingGather {
     fn kind(&self) -> OpKind {
         OpKind::Gather
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn param_bytes(&self) -> u64 {

@@ -42,9 +42,9 @@ use drec_models::{InputSpec, ModelId, ModelScale};
 use drec_ops::Value;
 use drec_par::ParPool;
 use drec_serve::{
-    validate_single, BatchPoll, BatcherConfig, DegradeConfig, DispatchSignal, Engine,
-    MetricsRegistry, MetricsSnapshot, ModelChannelMetrics, OverloadLadder, PendingResponse,
-    Request, Response, Result, ServeError, SharedQueue, TakenBatch,
+    validate_single, BatchPoll, BatcherConfig, DegradeConfig, DispatchSignal, EmbeddingStore,
+    Engine, MetricsRegistry, MetricsSnapshot, ModelChannelMetrics, OverloadLadder, PendingResponse,
+    Request, Response, Result, ServeError, SharedQueue, StoreConfig, TakenBatch,
 };
 
 use crate::profile::{ModelProfile, ProfileConfig};
@@ -221,6 +221,12 @@ pub struct SchedConfig {
     pub calibration_batches: Vec<usize>,
     /// Hill-climbing tuner; `None` leaves caps and pool tiers fixed.
     pub tuner: Option<TunerConfig>,
+    /// When set, every model's embedding tables register in one shared
+    /// [`EmbeddingStore`] with this configuration — deduplicated
+    /// parameters across models and workers, optional quantization,
+    /// hot-row caching, and DRAM/SSD tiering. `None` keeps per-engine
+    /// dense tables.
+    pub store: Option<StoreConfig>,
     /// Record every executed batch's inputs and outputs for bit-identity
     /// replay (see [`crate::replay_records`]). Costs memory; benches and
     /// tests only.
@@ -245,6 +251,7 @@ impl SchedConfig {
             cpu_platform: Platform::broadwell(),
             calibration_batches: vec![1, 8],
             tuner: Some(TunerConfig::default()),
+            store: None,
             record_batches: false,
         }
     }
@@ -303,20 +310,25 @@ struct WorkerShared {
     records: Option<Arc<Mutex<Vec<BatchRecord>>>>,
     scale: ModelScale,
     seed: u64,
+    store: Option<Arc<EmbeddingStore>>,
 }
 
 impl WorkerShared {
     fn build_engine(&self, lane: &Lane) -> Result<Engine> {
-        let model = lane
-            .id
-            .build(self.scale, self.seed)
-            .map_err(|e| ServeError::WorkerFailed {
-                reason: format!("model build failed: {e}"),
-            })?;
-        Ok(Engine::with_pool(
+        let model = match &self.store {
+            Some(store) => lane
+                .id
+                .build_with_store(self.scale, self.seed, Arc::clone(store)),
+            None => lane.id.build(self.scale, self.seed),
+        }
+        .map_err(|e| ServeError::WorkerFailed {
+            reason: format!("model build failed: {e}"),
+        })?;
+        Ok(Engine::with_store(
             model,
             lane.profile.cpu_curve.clone(),
             Arc::clone(&self.pools[0]),
+            self.store.clone(),
         ))
     }
 
@@ -340,6 +352,7 @@ pub struct MultiServeRuntime {
     records: Option<Arc<Mutex<Vec<BatchRecord>>>>,
     workers: Vec<JoinHandle<()>>,
     tuner: Option<JoinHandle<()>>,
+    store: Option<Arc<EmbeddingStore>>,
 }
 
 impl std::fmt::Debug for MultiServeRuntime {
@@ -389,7 +402,18 @@ impl MultiServeRuntime {
         let signal = Arc::new(DispatchSignal::new());
         let gpu_enabled = cfg.gpu.is_some();
         let total_workers = cfg.cpu_workers + usize::from(gpu_enabled);
-        let mut registry = MetricsRegistry::with_pool(total_workers, Arc::clone(&pools[0]));
+        // One parameter store shared by every lane and worker: all
+        // engines of one model dedupe to a single copy, and co-located
+        // models share the tier budget and its counters.
+        let store = cfg
+            .store
+            .clone()
+            .map(|sc| Arc::new(EmbeddingStore::new(sc)));
+        let mut registry = MetricsRegistry::with_pool_and_store(
+            total_workers,
+            Arc::clone(&pools[0]),
+            store.clone(),
+        );
 
         let profile_cfg = ProfileConfig {
             calibration_batches: cfg.calibration_batches.clone(),
@@ -402,12 +426,13 @@ impl MultiServeRuntime {
 
         let mut lanes = Vec::with_capacity(cfg.models.len());
         for slo in &cfg.models {
-            let mut model =
-                slo.id
-                    .build(cfg.scale, cfg.seed)
-                    .map_err(|e| ServeError::WorkerFailed {
-                        reason: format!("model build failed: {e}"),
-                    })?;
+            let mut model = match &store {
+                Some(s) => slo.id.build_with_store(cfg.scale, cfg.seed, Arc::clone(s)),
+                None => slo.id.build(cfg.scale, cfg.seed),
+            }
+            .map_err(|e| ServeError::WorkerFailed {
+                reason: format!("model build failed: {e}"),
+            })?;
             let profile = ModelProfile::calibrate(&mut model, &profile_cfg);
             let spec = model.spec().clone();
             drop(model);
@@ -451,6 +476,7 @@ impl MultiServeRuntime {
             records: records.clone(),
             scale: cfg.scale,
             seed: cfg.seed,
+            store: store.clone(),
         });
 
         let shutting_down = Arc::new(AtomicBool::new(false));
@@ -523,7 +549,16 @@ impl MultiServeRuntime {
             records,
             workers,
             tuner,
+            store,
         })
+    }
+
+    /// The shared embedding store all lanes resolve lookups through,
+    /// when [`SchedConfig::store`] was set. Reporting code combines this
+    /// with [`drec_models::store_namespace`] for per-model tier
+    /// residency.
+    pub fn store(&self) -> Option<&Arc<EmbeddingStore>> {
+        self.store.as_ref()
     }
 
     /// A cloneable submission handle.

@@ -94,6 +94,12 @@ impl Engine {
         self.model.spec()
     }
 
+    /// Store-backed sparse-lookup bindings of the served model (empty
+    /// for dense builds) — what the stream prefetcher needs.
+    pub fn store_bindings(&self) -> Vec<drec_models::StoreBinding> {
+        self.model.store_bindings()
+    }
+
     /// The latency curve used for modelled timings.
     pub fn curve(&self) -> &LatencyCurve {
         &self.curve

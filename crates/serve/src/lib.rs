@@ -44,6 +44,7 @@ mod degrade;
 mod engine;
 mod error;
 mod metrics;
+mod prefetch;
 mod request;
 mod runtime;
 

@@ -47,6 +47,7 @@ use crate::degrade::{DegradeConfig, OverloadLadder};
 use crate::engine::Engine;
 use crate::error::{Result, ServeError};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::prefetch::Prefetcher;
 use crate::request::{validate_single, Request, RequestId, Response, SubmitOptions};
 
 /// Worker-supervision parameters.
@@ -209,6 +210,7 @@ pub struct ServeRuntime {
     next_id: Arc<AtomicU64>,
     spec: Arc<InputSpec>,
     supervisor: Option<JoinHandle<()>>,
+    prefetcher: Option<Arc<Prefetcher>>,
 }
 
 impl ServeRuntime {
@@ -277,10 +279,19 @@ impl ServeRuntime {
         let (exit_tx, exit_rx) = mpsc::channel();
         let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(cfg.workers);
         let mut spec = None;
+        let mut prefetcher = None;
         for index in 0..cfg.workers {
             let engine = factory.build()?;
             if spec.is_none() {
                 spec = Some(engine.spec().clone());
+                // Stream prefetch: only when the shared store is tiered
+                // with prefetch on and the model exposes store bindings.
+                if factory.store.as_ref().is_some_and(|s| s.prefetch_enabled()) {
+                    let bindings = engine.store_bindings();
+                    if !bindings.is_empty() {
+                        prefetcher = Some(Arc::new(Prefetcher::start(bindings)?));
+                    }
+                }
             }
             handles.push(Some(spawn_worker(
                 index, engine, &queue, &metrics, &exit_tx,
@@ -308,6 +319,7 @@ impl ServeRuntime {
             next_id: Arc::new(AtomicU64::new(0)),
             spec,
             supervisor: Some(supervisor),
+            prefetcher,
         })
     }
 
@@ -318,6 +330,7 @@ impl ServeRuntime {
             metrics: Arc::clone(&self.metrics),
             next_id: Arc::clone(&self.next_id),
             spec: Arc::clone(&self.spec),
+            prefetcher: self.prefetcher.clone(),
         }
     }
 
@@ -350,6 +363,9 @@ impl ServeRuntime {
         if let Some(supervisor) = self.supervisor.take() {
             let _ = supervisor.join();
         }
+        if let Some(prefetcher) = self.prefetcher.take() {
+            prefetcher.shutdown();
+        }
         self.metrics.snapshot()
     }
 }
@@ -361,6 +377,9 @@ impl Drop for ServeRuntime {
         self.queue.close();
         if let Some(supervisor) = self.supervisor.take() {
             let _ = supervisor.join();
+        }
+        if let Some(prefetcher) = self.prefetcher.take() {
+            prefetcher.shutdown();
         }
     }
 }
@@ -551,6 +570,7 @@ pub struct ServeHandle {
     metrics: Arc<MetricsRegistry>,
     next_id: Arc<AtomicU64>,
     spec: Arc<InputSpec>,
+    prefetcher: Option<Arc<Prefetcher>>,
 }
 
 impl ServeHandle {
@@ -581,6 +601,13 @@ impl ServeHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let submitted_at = Instant::now();
+        // Extracted before the request is moved into the queue; handed to
+        // the tier prefetcher only if admission succeeds.
+        let prefetch_rows = self
+            .prefetcher
+            .as_ref()
+            .map(|p| p.collect_rows(&inputs))
+            .filter(|rows| !rows.is_empty());
         let request = Request {
             id,
             inputs,
@@ -593,6 +620,9 @@ impl ServeHandle {
         match self.queue.try_push(request) {
             Ok(victim) => {
                 self.metrics.record_accepted();
+                if let (Some(p), Some(rows)) = (&self.prefetcher, prefetch_rows) {
+                    p.enqueue(rows);
+                }
                 if let Some((victim, err)) = victim {
                     // The evicted lower-priority request is shed on its
                     // own reply channel; its waiter sees Overloaded.

@@ -20,17 +20,27 @@
 //! * **Hot-row cache** ([`HotRowCache`]) — a capacity-bounded LRU/LFU
 //!   cache of *decoded* rows in front of the cold shards, with atomic
 //!   hit/miss/evict counters surfaced through [`EmbeddingStore::stats`].
+//! * **DRAM/SSD tiering** ([`StoreConfig::tier`], via [`drec_tier`]) —
+//!   a budget-bounded CLOCK resident set models which rows are in DRAM;
+//!   cold rows charge a seeded, queue-depth-aware read latency and get
+//!   promoted. [`PinnedTable::note_prefetch_intent`] /
+//!   [`PinnedTable::prefetch_row`] let the serving runtime stream rows
+//!   into DRAM ahead of batch drain, and
+//!   [`PinnedTable::sum_row_pair`] serves frequently co-occurring row
+//!   pairs from a table-combining cache with one lookup instead of two.
 //!
 //! Determinism guarantees: decoding is a pure function of the stored
 //! bytes, and cached rows are exactly the decoded rows — so cache state
-//! (including evictions and cross-worker races) can never change a
-//! model's output, and the `F32` encoding reproduces the direct
-//! dense-tensor path bit for bit.
+//! (including evictions and cross-worker races), tier residency,
+//! prefetch timing, and combining can never change a model's output,
+//! and the `F32` encoding reproduces the direct dense-tensor path bit
+//! for bit.
 
 mod cache;
 mod encoding;
 mod store;
 
 pub use cache::{CachePolicy, HotRowCache};
+pub use drec_tier::{ColdReadModel, CombineConfig, Pacing, TierConfig, TierStats};
 pub use encoding::{f16_bits_to_f32, f32_to_f16_bits, quantize_row, RowEncoding};
 pub use store::{EmbeddingStore, PinnedTable, StoreConfig, StoreError, StoreStats, TableHandle};

@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use drec_faultsim::{FaultHook, ReadFault};
 use drec_tensor::simd::KernelPath;
+use drec_tier::{CombineCache, TierConfig, TierEngine};
 
 use crate::cache::{CachePolicy, HotRowCache};
 use crate::encoding::{RowData, RowEncoding};
@@ -37,6 +38,11 @@ pub struct StoreConfig {
     pub cache_policy: CachePolicy,
     /// Lock shards inside the hot-row cache.
     pub cache_shards: usize,
+    /// DRAM/SSD tiering (see [`drec_tier`]); `None` keeps the whole
+    /// store DRAM-resident. Residency only decides latency charging and
+    /// counters — values always decode from the same encoded shards, so
+    /// outputs are bit-identical with tiering on or off.
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for StoreConfig {
@@ -47,6 +53,7 @@ impl Default for StoreConfig {
             cache_capacity_rows: 0,
             cache_policy: CachePolicy::Lru,
             cache_shards: 16,
+            tier: None,
         }
     }
 }
@@ -215,6 +222,13 @@ pub struct EmbeddingStore {
     /// shards (see [`EmbeddingStore::set_cache_only`]).
     cache_only: AtomicBool,
     cache_only_skips: AtomicU64,
+    /// DRAM/SSD residency model (`StoreConfig::tier`).
+    tier: Option<TierEngine>,
+    /// Table-combining row cache (`TierConfig::combine`).
+    combine: Option<CombineCache>,
+    /// Lookups the combining cache saved: each combined hit served a
+    /// pair of rows with one lookup instead of two.
+    combined_lookups_saved: AtomicU64,
 }
 
 impl EmbeddingStore {
@@ -231,6 +245,12 @@ impl EmbeddingStore {
     /// [`EmbeddingStore::new`].
     pub fn with_faults(cfg: StoreConfig, faults: FaultHook) -> EmbeddingStore {
         let cache = HotRowCache::new(cfg.cache_capacity_rows, cfg.cache_shards, cfg.cache_policy);
+        let tier = cfg.tier.as_ref().map(TierEngine::new);
+        let combine = cfg
+            .tier
+            .as_ref()
+            .and_then(|t| t.combine)
+            .map(CombineCache::new);
         EmbeddingStore {
             cfg,
             tables: RwLock::new(Vec::new()),
@@ -242,6 +262,9 @@ impl EmbeddingStore {
             faults,
             cache_only: AtomicBool::new(false),
             cache_only_skips: AtomicU64::new(0),
+            tier,
+            combine,
+            combined_lookups_saved: AtomicU64::new(0),
         }
     }
 
@@ -351,6 +374,8 @@ impl EmbeddingStore {
             resident_bytes += t.resident_bytes();
             f32_bytes += (t.rows * t.dim * 4) as u64;
         }
+        let tier = self.tier.as_ref().map(|t| t.stats()).unwrap_or_default();
+        let combine = self.combine.as_ref().map(|c| c.stats()).unwrap_or_default();
         StoreStats {
             tables: tables.len(),
             rows,
@@ -365,6 +390,69 @@ impl EmbeddingStore {
             cache_only_skips: self.cache_only_skips.load(Ordering::Relaxed),
             decode_vector: self.decode_vector.load(Ordering::Relaxed),
             decode_scalar: self.decode_scalar.load(Ordering::Relaxed),
+            tier_dram_budget_rows: tier.dram_budget_rows,
+            tier_dram_resident_rows: tier.dram_resident_rows,
+            tier_dram_hits: tier.dram_hits,
+            tier_cold_demand_reads: tier.cold_demand_reads,
+            tier_promotions: tier.promotions,
+            tier_evictions: tier.evictions,
+            tier_demand_wait_nanos: tier.demand_wait_nanos,
+            tier_prefetch_wait_nanos: tier.prefetch_wait_nanos,
+            prefetch_issued: tier.prefetch_issued,
+            prefetch_fills: tier.prefetch_fills,
+            prefetch_hits: tier.prefetch_hits,
+            prefetch_late: tier.prefetch_late,
+            prefetch_wasted: tier.prefetch_wasted,
+            combined_resident_pairs: combine.resident_pairs,
+            combined_hits: combine.hits,
+            combined_fills: combine.fills,
+            combined_evictions: combine.evictions,
+            combined_lookups_saved: self.combined_lookups_saved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether this store simulates a DRAM/SSD tier.
+    pub fn tier_enabled(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// Whether the serving runtime should stream-prefetch for this store
+    /// (tiering on and its prefetch flag set).
+    pub fn prefetch_enabled(&self) -> bool {
+        self.tier.as_ref().is_some_and(|t| t.prefetch_enabled())
+    }
+
+    /// Whether the table-combining cache is active.
+    pub fn combining_enabled(&self) -> bool {
+        self.combine.is_some()
+    }
+
+    /// `(DRAM-resident rows, total rows)` across the tables registered
+    /// under `namespace` — the per-model residency report (a model's
+    /// tables all share its namespace). Without tiering everything is
+    /// resident. O(resident set) per call; reporting path only.
+    pub fn namespace_residency(&self, namespace: u64) -> (u64, u64) {
+        let handles: Vec<u64> = {
+            let index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+            index
+                .iter()
+                .filter(|((ns, _), _)| *ns == namespace)
+                .map(|(_, &slot)| slot as u64)
+                .collect()
+        };
+        let total: u64 = {
+            let tables = read_recover(&self.tables);
+            handles
+                .iter()
+                .map(|&h| tables[h as usize].rows as u64)
+                .sum()
+        };
+        match &self.tier {
+            Some(tier) => {
+                let resident = tier.count_resident(|key| handles.contains(&(key >> 32))) as u64;
+                (resident, total)
+            }
+            None => (total, total),
         }
     }
 
@@ -440,6 +528,17 @@ impl PinnedTable {
         false
     }
 
+    /// Charges the DRAM/SSD tier for one demand access: a resident row
+    /// is free, a cold row pays the configured cold-read latency (slept
+    /// or virtually charged) and gets promoted. Called on every
+    /// cold-shard read; values are unaffected either way.
+    #[inline]
+    fn tier_demand(&self, key: u64) {
+        if let Some(tier) = &self.store.tier {
+            tier.demand_access(key);
+        }
+    }
+
     pub fn sum_row(&self, row: u32, acc: &mut [f32]) {
         debug_assert!((row as usize) < self.table.rows);
         debug_assert_eq!(acc.len(), self.table.dim);
@@ -447,6 +546,7 @@ impl PinnedTable {
         let cache = &self.store.cache;
         if !cache.enabled() {
             if !self.before_cold_read(row) {
+                self.tier_demand(self.key(row));
                 let path = self.table.sum_into(row, acc);
                 self.store.tally_decode(path);
             }
@@ -455,7 +555,8 @@ impl PinnedTable {
         let key = self.key(row);
         let hit = cache.with_row(key, |cached| {
             // Cache hit: rows are cached *decoded*, so no kernel runs and
-            // neither decode counter moves.
+            // neither decode counter moves. The hot-row cache is DRAM, so
+            // the tier is not consulted either.
             for (a, &v) in acc.iter_mut().zip(cached) {
                 *a += v;
             }
@@ -463,10 +564,12 @@ impl PinnedTable {
         if hit.is_none() {
             // Cache miss: in cache-only degraded mode the row's
             // contribution is dropped (counted as a quality-loss skip);
-            // otherwise decode from the cold shard and promote.
+            // otherwise charge the tier, decode from the cold shard, and
+            // promote.
             if self.before_cold_read(row) {
                 return;
             }
+            self.tier_demand(key);
             let mut decoded = vec![0.0f32; self.table.dim].into_boxed_slice();
             let path = self.table.read_into(row, &mut decoded);
             self.store.tally_decode(path);
@@ -489,6 +592,7 @@ impl PinnedTable {
             if self.before_cold_read(row) {
                 dst.fill(0.0);
             } else {
+                self.tier_demand(self.key(row));
                 let path = self.table.read_into(row, dst);
                 self.store.tally_decode(path);
             }
@@ -501,15 +605,106 @@ impl PinnedTable {
                 dst.fill(0.0);
                 return;
             }
+            self.tier_demand(key);
             let path = self.table.read_into(row, dst);
             self.store.tally_decode(path);
             cache.insert(key, dst.to_vec().into_boxed_slice());
         }
     }
 
+    /// Registers a prefetch intent for `row` — the admission-time half
+    /// of the stream prefetcher. Returns `true` when a
+    /// [`PinnedTable::prefetch_row`] fill should be issued (tiering is
+    /// on and the row is neither DRAM-resident nor already pending).
+    pub fn note_prefetch_intent(&self, row: u32) -> bool {
+        if (row as usize) >= self.table.rows {
+            return false;
+        }
+        match &self.store.tier {
+            Some(tier) => tier.note_intent(self.key(row)),
+            None => false,
+        }
+    }
+
+    /// Completes a prefetch for `row`: pays the cold-read latency *off*
+    /// the request critical path and promotes the row into the DRAM
+    /// tier. A fill moves only the prefetch counters — it is not a
+    /// demand decode (`decode_vector`/`decode_scalar` stay put, the
+    /// hot-row cache is untouched) because a tier promotion moves
+    /// encoded bytes, not decoded rows. No-op without tiering or when
+    /// the row is already resident.
+    pub fn prefetch_row(&self, row: u32) {
+        if (row as usize) >= self.table.rows {
+            return;
+        }
+        if let Some(tier) = &self.store.tier {
+            tier.prefetch_fill(self.key(row));
+        }
+    }
+
+    /// Whether `row` is currently DRAM-resident (always `true` without
+    /// tiering).
+    pub fn is_resident(&self, row: u32) -> bool {
+        match &self.store.tier {
+            Some(tier) => tier.is_resident(self.key(row)),
+            None => true,
+        }
+    }
+
+    /// Pooled lookup of a frequently co-travelling row pair: adds
+    /// `self[row]` into `acc` and `other[other_row]` into `other_acc`,
+    /// letting the table-combining cache serve both halves with **one**
+    /// lookup when the pair is hot (MicroRec-style). On a combined hit
+    /// the halves are the exact decoded rows added in the same order a
+    /// per-table lookup would use, so outputs are bit-identical; only
+    /// the lookup count changes. Falls back to two plain
+    /// [`PinnedTable::sum_row`] calls when combining is off or the pins
+    /// belong to different stores.
+    pub fn sum_row_pair(
+        &self,
+        row: u32,
+        acc: &mut [f32],
+        other: &PinnedTable,
+        other_row: u32,
+        other_acc: &mut [f32],
+    ) {
+        debug_assert!((row as usize) < self.table.rows);
+        debug_assert!((other_row as usize) < other.table.rows);
+        let combinable = self.store.combine.is_some() && Arc::ptr_eq(&self.store, &other.store);
+        if !combinable {
+            self.sum_row(row, acc);
+            other.sum_row(other_row, other_acc);
+            return;
+        }
+        let combine = self.store.combine.as_ref().expect("checked above");
+        let (ka, kb) = (self.key(row), other.key(other_row));
+        if combine.lookup_into(ka, kb, acc, other_acc) {
+            // One combined lookup served both rows from DRAM: no decode,
+            // no tier charge, one lookup instead of two.
+            self.store.lookups.fetch_add(1, Ordering::Relaxed);
+            self.store
+                .combined_lookups_saved
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let promote = combine.observe(ka, kb);
+        self.sum_row(row, acc);
+        other.sum_row(other_row, other_acc);
+        if promote && !self.store.cache_only() {
+            // Build the concatenated row once, straight from the shards
+            // (quiet decode: tallied as a combine fill, not a demand
+            // decode).
+            let (da, db) = (self.table.dim, other.table.dim);
+            let mut concat = vec![0.0f32; da + db].into_boxed_slice();
+            self.table.read_into(row, &mut concat[..da]);
+            other.table.read_into(other_row, &mut concat[da..]);
+            combine.fill(ka, kb, da, concat);
+        }
+    }
+
     /// Re-encodes one row from `values` under the owning shard's write
-    /// lock and invalidates any cached copy, so subsequent lookups see
-    /// the new value.
+    /// lock and invalidates any cached copy (hot-row and combined), so
+    /// subsequent lookups see the new value.
     ///
     /// # Errors
     ///
@@ -529,6 +724,9 @@ impl PinnedTable {
         }
         self.table.write_row(row, values);
         self.store.cache.invalidate(self.key(row));
+        if let Some(combine) = &self.store.combine {
+            combine.invalidate_key(self.key(row));
+        }
         Ok(())
     }
 }
@@ -565,6 +763,49 @@ pub struct StoreStats {
     pub decode_vector: u64,
     /// Cold-shard row decodes served by the portable scalar kernels.
     pub decode_scalar: u64,
+    /// Configured DRAM hot-tier budget, rows (0 without tiering).
+    pub tier_dram_budget_rows: u64,
+    /// Rows currently DRAM-resident in the tier (gauge).
+    pub tier_dram_resident_rows: u64,
+    /// Demand accesses that found their row DRAM-resident.
+    pub tier_dram_hits: u64,
+    /// Demand accesses that paid a simulated cold-tier (SSD) read —
+    /// counted separately from `decode_vector`/`decode_scalar`: a cold
+    /// *read* is the modelled byte transfer, a *decode* is the kernel
+    /// work, and one access can involve both, either, or neither.
+    pub tier_cold_demand_reads: u64,
+    /// Rows promoted into the DRAM tier (demand + prefetch).
+    pub tier_promotions: u64,
+    /// Rows evicted from the DRAM tier.
+    pub tier_evictions: u64,
+    /// Cold-read nanoseconds charged on the demand (request-critical)
+    /// path.
+    pub tier_demand_wait_nanos: u64,
+    /// Cold-read nanoseconds charged to prefetch fills (overlapped).
+    pub tier_prefetch_wait_nanos: u64,
+    /// Prefetch intents accepted at admission.
+    pub prefetch_issued: u64,
+    /// Prefetch fills that promoted a row — never counted as demand
+    /// decodes (a fill moves encoded bytes between tiers, no kernel
+    /// runs).
+    pub prefetch_fills: u64,
+    /// Demand accesses served by a still-unused prefetched row.
+    pub prefetch_hits: u64,
+    /// Demand accesses that overtook their still-pending prefetch.
+    pub prefetch_late: u64,
+    /// Prefetched rows evicted before any demand use.
+    pub prefetch_wasted: u64,
+    /// Combined row pairs currently cached (gauge).
+    pub combined_resident_pairs: u64,
+    /// Pair lookups served whole from the combining cache.
+    pub combined_hits: u64,
+    /// Combined rows built and cached.
+    pub combined_fills: u64,
+    /// Combined rows evicted or invalidated.
+    pub combined_evictions: u64,
+    /// Lookups saved by combining (one per combined hit: two rows, one
+    /// lookup).
+    pub combined_lookups_saved: u64,
 }
 
 impl StoreStats {
@@ -579,6 +820,31 @@ impl StoreStats {
             cache_only_skips: self.cache_only_skips.saturating_sub(base.cache_only_skips),
             decode_vector: self.decode_vector.saturating_sub(base.decode_vector),
             decode_scalar: self.decode_scalar.saturating_sub(base.decode_scalar),
+            tier_dram_hits: self.tier_dram_hits.saturating_sub(base.tier_dram_hits),
+            tier_cold_demand_reads: self
+                .tier_cold_demand_reads
+                .saturating_sub(base.tier_cold_demand_reads),
+            tier_promotions: self.tier_promotions.saturating_sub(base.tier_promotions),
+            tier_evictions: self.tier_evictions.saturating_sub(base.tier_evictions),
+            tier_demand_wait_nanos: self
+                .tier_demand_wait_nanos
+                .saturating_sub(base.tier_demand_wait_nanos),
+            tier_prefetch_wait_nanos: self
+                .tier_prefetch_wait_nanos
+                .saturating_sub(base.tier_prefetch_wait_nanos),
+            prefetch_issued: self.prefetch_issued.saturating_sub(base.prefetch_issued),
+            prefetch_fills: self.prefetch_fills.saturating_sub(base.prefetch_fills),
+            prefetch_hits: self.prefetch_hits.saturating_sub(base.prefetch_hits),
+            prefetch_late: self.prefetch_late.saturating_sub(base.prefetch_late),
+            prefetch_wasted: self.prefetch_wasted.saturating_sub(base.prefetch_wasted),
+            combined_hits: self.combined_hits.saturating_sub(base.combined_hits),
+            combined_fills: self.combined_fills.saturating_sub(base.combined_fills),
+            combined_evictions: self
+                .combined_evictions
+                .saturating_sub(base.combined_evictions),
+            combined_lookups_saved: self
+                .combined_lookups_saved
+                .saturating_sub(base.combined_lookups_saved),
             ..self.clone()
         }
     }
@@ -615,6 +881,52 @@ impl StoreStats {
             1.0
         } else {
             self.f32_bytes as f64 / self.resident_bytes as f64
+        }
+    }
+
+    /// Combined DRAM hit rate: the fraction of all row lookups served
+    /// without a cold-tier read — hot-row-cache hits, combined-row hits,
+    /// and tier-resident decodes all count as DRAM. 1.0 without tiering
+    /// (everything is DRAM) or when idle.
+    pub fn combined_dram_hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            1.0 - self.tier_cold_demand_reads as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of would-be cold demand misses the prefetcher converted
+    /// into DRAM hits: `prefetch_hits / (prefetch_hits +
+    /// tier_cold_demand_reads)`. 0 when neither moved.
+    pub fn prefetch_conversion(&self) -> f64 {
+        let total = self.prefetch_hits + self.tier_cold_demand_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of lookups the combining cache saved: `saved /
+    /// (lookups + saved)` — the denominator is what the lookup count
+    /// would have been without combining. 0 when idle.
+    pub fn combined_lookup_cut(&self) -> f64 {
+        let would_be = self.lookups + self.combined_lookups_saved;
+        if would_be == 0 {
+            0.0
+        } else {
+            self.combined_lookups_saved as f64 / would_be as f64
+        }
+    }
+
+    /// Mean cold-read wait charged per lookup on the demand path,
+    /// nanoseconds (0 when idle).
+    pub fn mean_demand_wait_nanos(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.tier_demand_wait_nanos as f64 / self.lookups as f64
         }
     }
 }
@@ -831,6 +1143,155 @@ mod tests {
         assert!(msg.contains("faultsim: poisoned read"), "{msg}");
         // The panic fired before any lock was taken: stats still work.
         assert_eq!(s.stats().tables, 1);
+    }
+
+    fn tiered_cfg(budget: usize, combine: bool) -> StoreConfig {
+        use drec_tier::{ColdReadModel, CombineConfig, Pacing};
+        StoreConfig {
+            tier: Some(TierConfig {
+                dram_budget_rows: budget,
+                cold_read: ColdReadModel {
+                    pacing: Pacing::Charge,
+                    seed: 9,
+                    ..ColdReadModel::default()
+                },
+                prefetch: true,
+                admit_after: 1,
+                combine: combine.then(CombineConfig::default),
+            }),
+            ..StoreConfig::default()
+        }
+    }
+
+    #[test]
+    fn tiered_lookups_are_bit_identical_and_charge_cold_waits() {
+        let data = filled(100, 8);
+        let plain = store(StoreConfig::default());
+        let tiered = store(tiered_cfg(10, false));
+        let hp = plain.register(1, 0, 100, 8, &data).unwrap();
+        let ht = tiered.register(1, 0, 100, 8, &data).unwrap();
+        let (pp, pt) = (plain.pin(hp), tiered.pin(ht));
+        let mut a = vec![0.5f32; 8];
+        let mut b = vec![0.5f32; 8];
+        for row in [0u32, 7, 7, 42, 99, 7] {
+            pp.sum_row(row, &mut a);
+            pt.sum_row(row, &mut b);
+        }
+        assert_eq!(a, b, "tier residency must never change values");
+        let s = tiered.stats();
+        // 4 distinct rows cold, 2 repeats resident.
+        assert_eq!(s.tier_cold_demand_reads, 4);
+        assert_eq!(s.tier_dram_hits, 2);
+        assert_eq!(s.tier_promotions, 4);
+        assert!(s.tier_demand_wait_nanos > 0);
+        assert!((s.combined_dram_hit_rate() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(plain.stats().tier_cold_demand_reads, 0);
+        assert!((plain.stats().combined_dram_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_fills_convert_demand_misses_without_decoding() {
+        let s = store(tiered_cfg(50, false));
+        let h = s.register(1, 0, 100, 4, &filled(100, 4)).unwrap();
+        let pin = s.pin(h);
+        for row in [3u32, 4, 5] {
+            assert!(pin.note_prefetch_intent(row));
+            pin.prefetch_row(row);
+            assert!(pin.is_resident(row));
+        }
+        let after_fill = s.stats();
+        assert_eq!(after_fill.prefetch_fills, 3);
+        assert_eq!(
+            after_fill.decode_vector + after_fill.decode_scalar,
+            0,
+            "a prefetch fill moves encoded bytes, not a demand decode"
+        );
+        assert!(after_fill.tier_prefetch_wait_nanos > 0);
+        assert_eq!(after_fill.tier_demand_wait_nanos, 0);
+        let mut acc = vec![0.0f32; 4];
+        for row in [3u32, 4, 5] {
+            pin.sum_row(row, &mut acc);
+        }
+        let s2 = s.stats();
+        assert_eq!(s2.prefetch_hits, 3);
+        assert_eq!(s2.tier_cold_demand_reads, 0);
+        assert!((s2.prefetch_conversion() - 1.0).abs() < 1e-12);
+        // The demand decodes still happened (kernel work is real).
+        assert_eq!(s2.decode_vector + s2.decode_scalar, 3);
+    }
+
+    #[test]
+    fn combining_serves_hot_pairs_with_one_bit_identical_lookup() {
+        let data_a = filled(20, 4);
+        let data_b = filled(20, 6);
+        let s = store(tiered_cfg(1000, true));
+        let ha = s.register(1, 0, 20, 4, &data_a).unwrap();
+        let hb = s.register(1, 1, 20, 6, &data_b).unwrap();
+        let (pa, pb) = (s.pin(ha), s.pin(hb));
+        let reference = |row_a: usize, row_b: usize| {
+            let mut a = vec![0.25f32; 4];
+            let mut b = vec![0.25f32; 6];
+            for (x, &v) in a.iter_mut().zip(&data_a[row_a * 4..(row_a + 1) * 4]) {
+                *x += v;
+            }
+            for (x, &v) in b.iter_mut().zip(&data_b[row_b * 6..(row_b + 1) * 6]) {
+                *x += v;
+            }
+            (a, b)
+        };
+        // Default promote_after = 2: first two sightings go the plain
+        // route (the second also fills), the third is a combined hit.
+        for pass in 0..3 {
+            let mut a = vec![0.25f32; 4];
+            let mut b = vec![0.25f32; 6];
+            pa.sum_row_pair(7, &mut a, &pb, 9, &mut b);
+            let (ea, eb) = reference(7, 9);
+            assert_eq!((a, b), (ea, eb), "pass {pass}");
+        }
+        let stats = s.stats();
+        assert_eq!(stats.combined_fills, 1);
+        assert_eq!(stats.combined_hits, 1);
+        assert_eq!(stats.combined_lookups_saved, 1);
+        // 2 passes x 2 lookups + 1 combined = 5 (6 would-be).
+        assert_eq!(stats.lookups, 5);
+        assert!((stats.combined_lookup_cut() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_row_invalidates_combined_pairs() {
+        let s = store(tiered_cfg(1000, true));
+        let ha = s.register(1, 0, 10, 2, &filled(10, 2)).unwrap();
+        let hb = s.register(1, 1, 10, 2, &filled(10, 2)).unwrap();
+        let (pa, pb) = (s.pin(ha), s.pin(hb));
+        let mut a = vec![0.0f32; 2];
+        let mut b = vec![0.0f32; 2];
+        for _ in 0..3 {
+            pa.sum_row_pair(1, &mut a, &pb, 2, &mut b);
+        }
+        assert_eq!(s.stats().combined_hits, 1);
+        pb.update_row(2, &[5.0, 6.0]).unwrap();
+        a.fill(0.0);
+        b.fill(0.0);
+        pa.sum_row_pair(1, &mut a, &pb, 2, &mut b);
+        assert_eq!(b, [5.0, 6.0], "stale combined row served after update");
+    }
+
+    #[test]
+    fn namespace_residency_tracks_tiered_tables() {
+        let s = store(tiered_cfg(5, false));
+        let h1 = s.register(10, 0, 8, 2, &filled(8, 2)).unwrap();
+        let _h2 = s.register(20, 0, 8, 2, &filled(8, 2)).unwrap();
+        let pin = s.pin(h1);
+        let mut acc = vec![0.0f32; 2];
+        for row in 0..3u32 {
+            pin.sum_row(row, &mut acc);
+        }
+        assert_eq!(s.namespace_residency(10), (3, 8));
+        assert_eq!(s.namespace_residency(20), (0, 8));
+        // Without tiering everything is resident.
+        let flat = store(StoreConfig::default());
+        flat.register(10, 0, 8, 2, &filled(8, 2)).unwrap();
+        assert_eq!(flat.namespace_residency(10), (8, 8));
     }
 
     #[test]

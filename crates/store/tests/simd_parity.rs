@@ -39,6 +39,7 @@ fn store_with(encoding: RowEncoding, cache_rows: usize) -> EmbeddingStore {
         cache_capacity_rows: cache_rows,
         cache_policy: CachePolicy::Lru,
         cache_shards: 4,
+        tier: None,
     })
 }
 

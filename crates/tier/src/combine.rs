@@ -1,0 +1,265 @@
+//! MicroRec-style table combining: cache the concatenated rows of
+//! frequently co-occurring `(table, id)` pairs so two lookups become one.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Configuration for a [`CombineCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombineConfig {
+    /// Maximum combined rows cached (FIFO-evicted past this).
+    pub capacity_pairs: usize,
+    /// Co-occurrence count at which a pair is promoted into the cache.
+    pub promote_after: u32,
+    /// Maximum pairs tracked by the co-occurrence counter. Once full,
+    /// only already-tracked pairs keep counting — a deterministic,
+    /// bounded approximation of heavy-pair detection (the hot head of a
+    /// Zipf stream is seen early and keeps its slots).
+    pub tracker_capacity: usize,
+}
+
+impl Default for CombineConfig {
+    fn default() -> Self {
+        CombineConfig {
+            capacity_pairs: 4096,
+            promote_after: 2,
+            tracker_capacity: 65_536,
+        }
+    }
+}
+
+/// A cached combined row: `(split, concat)` — `concat[..split]` is the
+/// first table's decoded row, `concat[split..]` the second's.
+type CombinedRow = (usize, Box<[f32]>);
+
+#[derive(Debug, Default)]
+struct CombineInner {
+    /// Co-occurrence counts for candidate pairs (bounded).
+    counts: HashMap<(u64, u64), u32>,
+    /// Cached combined rows keyed by pair.
+    rows: HashMap<(u64, u64), CombinedRow>,
+    /// FIFO eviction order for `rows`.
+    order: VecDeque<(u64, u64)>,
+}
+
+/// Counter snapshot for a [`CombineCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CombineStats {
+    /// Combined rows currently cached (gauge).
+    pub resident_pairs: u64,
+    /// Pair lookups served whole from the cache — each one saved a
+    /// lookup.
+    pub hits: u64,
+    /// Combined rows built and cached.
+    pub fills: u64,
+    /// Combined rows evicted.
+    pub evictions: u64,
+}
+
+/// A bounded cache of concatenated row pairs with a bounded
+/// co-occurrence detector in front of it.
+///
+/// The cached halves are the exact decoded rows (same bits a demand
+/// decode yields), and a hit adds each half into its accumulator in the
+/// same left-to-right order a per-table lookup would — so combining can
+/// never change an output bit, only the lookup count.
+#[derive(Debug)]
+pub struct CombineCache {
+    cfg: CombineConfig,
+    inner: Mutex<CombineInner>,
+    hits: AtomicU64,
+    fills: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CombineCache {
+    /// An empty cache.
+    pub fn new(cfg: CombineConfig) -> CombineCache {
+        CombineCache {
+            cfg,
+            inner: Mutex::new(CombineInner::default()),
+            hits: AtomicU64::new(0),
+            fills: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CombineInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Serves the pair `(a, b)` from the cache if present: adds the
+    /// first half into `acc_a` and the second into `acc_b`, returning
+    /// `true`. Accumulator lengths must match the fill-time halves.
+    pub fn lookup_into(&self, a: u64, b: u64, acc_a: &mut [f32], acc_b: &mut [f32]) -> bool {
+        let inner = self.lock();
+        let Some((split, row)) = inner.rows.get(&(a, b)) else {
+            return false;
+        };
+        debug_assert_eq!(acc_a.len(), *split);
+        debug_assert_eq!(acc_b.len(), row.len() - *split);
+        for (x, &v) in acc_a.iter_mut().zip(&row[..*split]) {
+            *x += v;
+        }
+        for (x, &v) in acc_b.iter_mut().zip(&row[*split..]) {
+            *x += v;
+        }
+        drop(inner);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Records one co-occurrence of `(a, b)`. Returns `true` when the
+    /// pair just crossed the promotion threshold and is not yet cached —
+    /// the caller should build the combined row and [`CombineCache::fill`]
+    /// it.
+    pub fn observe(&self, a: u64, b: u64) -> bool {
+        let mut inner = self.lock();
+        if inner.rows.contains_key(&(a, b)) {
+            return false;
+        }
+        let tracked = inner.counts.len();
+        match inner.counts.get_mut(&(a, b)) {
+            Some(n) => {
+                *n = n.saturating_add(1);
+                *n == self.cfg.promote_after
+            }
+            None if tracked < self.cfg.tracker_capacity => {
+                inner.counts.insert((a, b), 1);
+                self.cfg.promote_after <= 1
+            }
+            None => false,
+        }
+    }
+
+    /// Caches the combined row for `(a, b)`: `concat[..split]` is `a`'s
+    /// decoded row, `concat[split..]` is `b`'s. FIFO-evicts past
+    /// capacity. No-op if the pair is already cached (a racing fill won).
+    pub fn fill(&self, a: u64, b: u64, split: usize, concat: Box<[f32]>) {
+        let mut inner = self.lock();
+        if inner.rows.contains_key(&(a, b)) || self.cfg.capacity_pairs == 0 {
+            return;
+        }
+        while inner.rows.len() >= self.cfg.capacity_pairs {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            inner.rows.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.rows.insert((a, b), (split, concat));
+        inner.order.push_back((a, b));
+        inner.counts.remove(&(a, b));
+        drop(inner);
+        self.fills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every cached pair whose half belongs to `key` — called by
+    /// the store when a row is updated so stale concatenations are never
+    /// served.
+    pub fn invalidate_key(&self, key: u64) {
+        let mut inner = self.lock();
+        let stale: Vec<(u64, u64)> = inner
+            .rows
+            .keys()
+            .filter(|&&(a, b)| a == key || b == key)
+            .copied()
+            .collect();
+        for pair in stale {
+            inner.rows.remove(&pair);
+            inner.order.retain(|&p| p != pair);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.counts.retain(|&(a, b), _| a != key && b != key);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CombineStats {
+        CombineStats {
+            resident_pairs: self.lock().rows.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            fills: self.fills.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, promote_after: u32) -> CombineCache {
+        CombineCache::new(CombineConfig {
+            capacity_pairs: capacity,
+            promote_after,
+            tracker_capacity: 16,
+        })
+    }
+
+    #[test]
+    fn promote_after_threshold_then_hit_bit_identically() {
+        let c = cache(4, 2);
+        assert!(!c.observe(1, 2), "first sighting below threshold");
+        assert!(c.observe(1, 2), "second sighting promotes");
+        assert!(!c.observe(1, 2), "past threshold doesn't re-promote");
+        c.fill(1, 2, 2, vec![0.5f32, -1.25, 3.0, 0.125].into_boxed_slice());
+        let mut a = vec![1.0f32, 1.0];
+        let mut b = vec![2.0f32, 2.0];
+        assert!(c.lookup_into(1, 2, &mut a, &mut b));
+        assert_eq!(a, [1.0 + 0.5, 1.0 + -1.25]);
+        assert_eq!(b, [2.0 + 3.0, 2.0 + 0.125]);
+        let s = c.stats();
+        assert_eq!((s.hits, s.fills, s.resident_pairs), (1, 1, 1));
+    }
+
+    #[test]
+    fn observe_does_not_repromote_cached_pairs() {
+        let c = cache(4, 1);
+        assert!(c.observe(5, 6), "threshold 1 promotes immediately");
+        c.fill(5, 6, 1, vec![1.0f32, 2.0].into_boxed_slice());
+        assert!(!c.observe(5, 6), "cached pair must not re-promote");
+    }
+
+    #[test]
+    fn fifo_eviction_past_capacity() {
+        let c = cache(2, 1);
+        for i in 0..3u64 {
+            assert!(c.observe(i, i + 100));
+            c.fill(i, i + 100, 1, vec![0.0f32, 0.0].into_boxed_slice());
+        }
+        let mut a = [0.0f32];
+        let mut b = [0.0f32];
+        assert!(!c.lookup_into(0, 100, &mut a, &mut b), "oldest evicted");
+        assert!(c.lookup_into(1, 101, &mut a, &mut b));
+        assert!(c.lookup_into(2, 102, &mut a, &mut b));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn tracker_capacity_bounds_candidates() {
+        let c = cache(64, 2);
+        // Fill the 16-slot tracker.
+        for i in 0..16u64 {
+            c.observe(i, i);
+        }
+        // An overflow pair is ignored; an existing pair still counts up.
+        assert!(!c.observe(99, 99));
+        assert!(!c.observe(99, 99));
+        assert!(c.observe(3, 3), "tracked pair promotes at threshold");
+    }
+
+    #[test]
+    fn invalidate_key_drops_touching_pairs() {
+        let c = cache(8, 1);
+        c.observe(1, 2);
+        c.fill(1, 2, 1, vec![1.0f32, 2.0].into_boxed_slice());
+        c.observe(3, 4);
+        c.fill(3, 4, 1, vec![3.0f32, 4.0].into_boxed_slice());
+        c.invalidate_key(2);
+        let mut a = [0.0f32];
+        let mut b = [0.0f32];
+        assert!(!c.lookup_into(1, 2, &mut a, &mut b));
+        assert!(c.lookup_into(3, 4, &mut a, &mut b));
+    }
+}
