@@ -58,6 +58,8 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use drec_sync::CachePadded;
+
 /// Environment variable forcing the [`global`] pool's thread count.
 ///
 /// `DREC_THREADS=1` yields deterministic single-thread execution with no
@@ -128,9 +130,11 @@ impl std::fmt::Debug for ParPool {
 struct Shared {
     queue: Mutex<QueueState>,
     work_cv: Condvar,
-    tasks: AtomicU64,
-    chunks: AtomicU64,
-    busy_nanos: AtomicU64,
+    // Every executing thread bumps all three counters per task; padding
+    // keeps a worker's increment from bouncing its neighbors' lines.
+    tasks: CachePadded<AtomicU64>,
+    chunks: CachePadded<AtomicU64>,
+    busy_nanos: CachePadded<AtomicU64>,
 }
 
 impl Shared {
@@ -175,9 +179,9 @@ impl ParPool {
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
-            tasks: AtomicU64::new(0),
-            chunks: AtomicU64::new(0),
-            busy_nanos: AtomicU64::new(0),
+            tasks: CachePadded::new(AtomicU64::new(0)),
+            chunks: CachePadded::new(AtomicU64::new(0)),
+            busy_nanos: CachePadded::new(AtomicU64::new(0)),
         });
         let workers = (1..threads)
             .map(|i| {

@@ -185,6 +185,43 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_signal_pulse_after_generation_read_is_never_missed() {
+        // The CPU worker protocol in `runtime.rs` is: read `seen =
+        // signal.generation()`, poll every lane, then `wait(seen, ..)`.
+        // A pulse landing anywhere between the generation read and the
+        // wait must make that wait return immediately — otherwise a
+        // request admitted in the window would sit until the 50ms
+        // housekeeping timeout (a missed wakeup). Slam the window from
+        // a second thread: with 200 iterations a lost pulse turns into
+        // seconds of accumulated housekeeping stalls, so the wall-clock
+        // bound below fails loudly while staying slack enough for CI.
+        use drec_serve::DispatchSignal;
+        use std::sync::Arc;
+        use std::time::Instant;
+        let signal = Arc::new(DispatchSignal::new());
+        let start = Instant::now();
+        for _ in 0..200 {
+            let seen = signal.generation();
+            let pulser = {
+                let signal = Arc::clone(&signal);
+                std::thread::spawn(move || signal.pulse())
+            };
+            let woke = signal.wait(seen, None);
+            assert!(
+                woke > seen,
+                "wait returned without observing the pulse ({woke} <= {seen})"
+            );
+            pulser.join().unwrap();
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "waits piled up housekeeping timeouts — pulses are being missed \
+             ({:?} for 200 round-trips)",
+            start.elapsed()
+        );
+    }
+
+    #[test]
     fn handle_outliving_runtime_reports_shutdown() {
         let runtime = MultiServeRuntime::start(two_model_cfg()).unwrap();
         let handle = runtime.handle();

@@ -21,10 +21,10 @@
 //! [`crate::MetricsRegistry`] snapshots, so degradation is observable
 //! rather than silent.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use drec_store::EmbeddingStore;
+use drec_sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Thresholds and floors for the overload ladder.
 #[derive(Debug, Clone, Copy, PartialEq)]

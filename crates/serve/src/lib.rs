@@ -48,7 +48,7 @@ mod prefetch;
 mod request;
 mod runtime;
 
-pub use batcher::{BatchPoll, BatcherConfig, DispatchSignal, SharedQueue, TakenBatch};
+pub use batcher::{BatchPoll, BatcherConfig, DispatchSignal, QueueKind, SharedQueue, TakenBatch};
 pub use degrade::{DegradeConfig, OverloadLadder, OverloadLevel};
 pub use engine::{BatchExecution, Engine};
 pub use error::{Result, ServeError};

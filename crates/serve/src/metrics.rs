@@ -7,18 +7,21 @@
 //! ordering — monotonic but not mutually consistent, which is fine for
 //! monitoring.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use drec_par::{ParPool, PoolStats};
 use drec_store::{EmbeddingStore, StoreStats};
+use drec_sync::atomic::{AtomicU64, Ordering};
+use drec_sync::{CachePadded, Mutex};
 
 use crate::batcher::SharedQueue;
 use crate::degrade::{OverloadLadder, OverloadLevel};
 
-/// Cap on retained worker panic reasons; older reasons are kept, later
-/// ones dropped (the first failures are the diagnostic ones).
+/// Cap on retained worker panic reasons: a bounded ring keeping the
+/// *last* 64. A long-running deployment's early panics are in the logs
+/// already; what a live snapshot needs is what is failing *now*.
 const MAX_PANIC_REASONS: usize = 64;
 
 /// Number of histogram buckets: 4 per octave × 26 octaves covers
@@ -265,16 +268,20 @@ impl WorkerMetrics {
 /// observers.
 #[derive(Debug)]
 pub struct MetricsRegistry {
-    accepted: AtomicU64,
-    shed: AtomicU64,
+    // The three per-request hot counters live on their own cache lines:
+    // producers bump `accepted`/`shed` while workers bump `completed`,
+    // and padding keeps those writes from ping-ponging one shared line
+    // (measured in `queue_bench`'s counter experiment).
+    accepted: CachePadded<AtomicU64>,
+    shed: CachePadded<AtomicU64>,
+    completed: CachePadded<AtomicU64>,
     rejected_invalid: AtomicU64,
-    completed: AtomicU64,
     deadline_exceeded: AtomicU64,
     retried: AtomicU64,
     failed: AtomicU64,
     worker_panics: AtomicU64,
     worker_restarts: AtomicU64,
-    panic_reasons: Mutex<Vec<String>>,
+    panic_reasons: Mutex<VecDeque<String>>,
     ladder: Option<Arc<OverloadLadder>>,
     models: Vec<Arc<ModelChannelMetrics>>,
     /// End-to-end wall latency (admission → response).
@@ -319,16 +326,16 @@ impl MetricsRegistry {
             (s, baseline)
         });
         MetricsRegistry {
-            accepted: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
+            accepted: CachePadded::new(AtomicU64::new(0)),
+            shed: CachePadded::new(AtomicU64::new(0)),
+            completed: CachePadded::new(AtomicU64::new(0)),
             rejected_invalid: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             retried: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
-            panic_reasons: Mutex::new(Vec::new()),
+            panic_reasons: Mutex::new(VecDeque::new()),
             ladder: None,
             models: Vec::new(),
             latency: LatencyHistogram::new(),
@@ -394,16 +401,16 @@ impl MetricsRegistry {
     }
 
     /// Records a worker panic with its rendered reason. The reason list
-    /// is bounded at `MAX_PANIC_REASONS` (64); the count is not.
+    /// is a bounded ring of the *last* `MAX_PANIC_REASONS` (64) — older
+    /// reasons roll off so a live snapshot shows what is failing now;
+    /// the count is unbounded.
     pub fn record_worker_panic(&self, reason: &str) {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
-        let mut reasons = self
-            .panic_reasons
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        if reasons.len() < MAX_PANIC_REASONS {
-            reasons.push(reason.to_string());
+        let mut reasons = self.panic_reasons.lock();
+        if reasons.len() == MAX_PANIC_REASONS {
+            reasons.pop_front();
         }
+        reasons.push_back(reason.to_string());
     }
 
     /// Counts one supervisor-driven worker restart.
@@ -464,11 +471,7 @@ impl MetricsRegistry {
             failed: self.failed.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
-            panic_reasons: self
-                .panic_reasons
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .clone(),
+            panic_reasons: self.panic_reasons.lock().iter().cloned().collect(),
             overload_level: self
                 .ladder
                 .as_ref()
@@ -528,7 +531,8 @@ pub struct MetricsSnapshot {
     pub worker_panics: u64,
     /// Workers restarted by the supervisor.
     pub worker_restarts: u64,
-    /// Rendered panic messages, first `MAX_PANIC_REASONS` (64) retained.
+    /// Rendered panic messages: the last `MAX_PANIC_REASONS` (64), in
+    /// order of occurrence (older reasons roll off).
     pub panic_reasons: Vec<String>,
     /// Current rung of the overload ladder.
     pub overload_level: OverloadLevel,
@@ -664,6 +668,20 @@ mod tests {
         assert_eq!(s.models[1].completed, 0);
         assert_eq!(m.model_channel("din").unwrap().name(), "din");
         assert!(m.model_channel("rm1").is_none());
+    }
+
+    #[test]
+    fn panic_reasons_keep_the_most_recent_64() {
+        let m = MetricsRegistry::new(1);
+        for i in 0..100 {
+            m.record_worker_panic(&format!("panic {i}"));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.worker_panics, 100);
+        assert_eq!(s.panic_reasons.len(), 64);
+        // The ring holds the LAST 64 (36..=99), oldest first.
+        assert_eq!(s.panic_reasons.first().unwrap(), "panic 36");
+        assert_eq!(s.panic_reasons.last().unwrap(), "panic 99");
     }
 
     #[test]

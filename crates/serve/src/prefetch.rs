@@ -12,8 +12,10 @@
 //! the store's `prefetch_{issued,fills,hits,late,wasted}` counters.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use drec_sync::{Condvar, Mutex};
 
 use drec_models::StoreBinding;
 use drec_ops::Value;
@@ -87,7 +89,7 @@ impl Prefetcher {
             return;
         }
         let (queue, cv) = &*self.shared;
-        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = queue.lock();
         if q.closed {
             return;
         }
@@ -100,12 +102,12 @@ impl Prefetcher {
     pub(crate) fn shutdown(&self) {
         let (queue, cv) = &*self.shared;
         {
-            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = queue.lock();
             q.closed = true;
         }
         cv.notify_all();
         let handle = {
-            let mut slot = self.worker.lock().unwrap_or_else(|e| e.into_inner());
+            let mut slot = self.worker.lock();
             slot.take()
         };
         if let Some(handle) = handle {
@@ -124,7 +126,7 @@ fn prefetch_loop(shared: &(Mutex<JobQueue>, Condvar), bindings: &[StoreBinding])
     let (queue, cv) = shared;
     loop {
         let job = {
-            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = queue.lock();
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
@@ -132,7 +134,7 @@ fn prefetch_loop(shared: &(Mutex<JobQueue>, Condvar), bindings: &[StoreBinding])
                 if q.closed {
                     return;
                 }
-                q = cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                q = cv.wait(q);
             }
         };
         // Fills run outside the queue lock: a cold-read model with real

@@ -2,28 +2,16 @@
 //! shards with per-shard interior locks, and the hot-row cache.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 
 use drec_faultsim::{FaultHook, ReadFault};
+use drec_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use drec_sync::{CachePadded, Mutex, RwLock};
 use drec_tensor::simd::KernelPath;
 use drec_tier::{CombineCache, TierConfig, TierEngine};
 
 use crate::cache::{CachePolicy, HotRowCache};
 use crate::encoding::{RowData, RowEncoding};
-
-/// Recovers the guard from a poisoned lock instead of propagating the
-/// panic. A shard writer that panicked mid-update can leave at most one
-/// partially written row (writes are full-row slice stores), which is
-/// strictly better for a serving system than every subsequent reader of
-/// the shard panicking forever.
-fn read_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(|e| e.into_inner())
-}
-
-fn write_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(|e| e.into_inner())
-}
 
 /// Configuration for an [`EmbeddingStore`].
 #[derive(Debug, Clone)]
@@ -178,24 +166,21 @@ impl StoredTable {
 
     fn sum_into(&self, row: u32, acc: &mut [f32]) -> KernelPath {
         let (s, r) = self.locate(row);
-        read_recover(&self.shards[s]).sum_into(r, self.dim, acc)
+        self.shards[s].read().sum_into(r, self.dim, acc)
     }
 
     fn read_into(&self, row: u32, dst: &mut [f32]) -> KernelPath {
         let (s, r) = self.locate(row);
-        read_recover(&self.shards[s]).decode_into(r, self.dim, dst)
+        self.shards[s].read().decode_into(r, self.dim, dst)
     }
 
     fn write_row(&self, row: u32, values: &[f32]) {
         let (s, r) = self.locate(row);
-        write_recover(&self.shards[s]).write_row(r, self.dim, values);
+        self.shards[s].write().write_row(r, self.dim, values);
     }
 
     fn resident_bytes(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| read_recover(s).resident_bytes())
-            .sum()
+        self.shards.iter().map(|s| s.read().resident_bytes()).sum()
     }
 }
 
@@ -209,14 +194,17 @@ pub struct EmbeddingStore {
     tables: RwLock<Vec<Arc<StoredTable>>>,
     index: Mutex<HashMap<(u64, u32), usize>>,
     cache: HotRowCache,
-    lookups: AtomicU64,
+    /// Hot counters live on their own cache lines: every worker bumps
+    /// `lookups` on every embedding access, and unpadded neighbors would
+    /// bounce a shared line between cores (see `drec_sync::CachePadded`).
+    lookups: CachePadded<AtomicU64>,
     /// Cold-shard decodes served by the vector (AVX2/FMA) kernels.
     /// Hot-row-cache hits add *decoded* rows and bypass both counters —
     /// a hit is not a decode, and counting it as one would make the
     /// kernel-backend mix look busier than the kernels are.
-    decode_vector: AtomicU64,
+    decode_vector: CachePadded<AtomicU64>,
     /// Cold-shard decodes served by the portable scalar kernels.
-    decode_scalar: AtomicU64,
+    decode_scalar: CachePadded<AtomicU64>,
     faults: FaultHook,
     /// Degraded mode: serve only from the hot-row cache, skipping cold
     /// shards (see [`EmbeddingStore::set_cache_only`]).
@@ -256,9 +244,9 @@ impl EmbeddingStore {
             tables: RwLock::new(Vec::new()),
             index: Mutex::new(HashMap::new()),
             cache,
-            lookups: AtomicU64::new(0),
-            decode_vector: AtomicU64::new(0),
-            decode_scalar: AtomicU64::new(0),
+            lookups: CachePadded::new(AtomicU64::new(0)),
+            decode_vector: CachePadded::new(AtomicU64::new(0)),
+            decode_scalar: CachePadded::new(AtomicU64::new(0)),
             faults,
             cache_only: AtomicBool::new(false),
             cache_only_skips: AtomicU64::new(0),
@@ -324,9 +312,9 @@ impl EmbeddingStore {
         // registering the same table race to one winner. Poisoned locks
         // are recovered (not propagated): registration must keep working
         // after a worker panic so the supervisor can rebuild engines.
-        let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+        let mut index = self.index.lock();
         if let Some(&slot) = index.get(&(namespace, ordinal)) {
-            let tables = read_recover(&self.tables);
+            let tables = self.tables.read();
             let existing = &tables[slot];
             if existing.rows != rows || existing.dim != dim {
                 return Err(StoreError::ShapeMismatch {
@@ -345,7 +333,7 @@ impl EmbeddingStore {
             data,
             self.cfg.shards_per_table,
         ));
-        let mut tables = write_recover(&self.tables);
+        let mut tables = self.tables.write();
         let slot = tables.len();
         tables.push(table);
         index.insert((namespace, ordinal), slot);
@@ -355,7 +343,7 @@ impl EmbeddingStore {
     /// A cheap, cloneable accessor pinning `handle`'s table so lookups
     /// skip the registry lock entirely.
     pub fn pin(self: &Arc<Self>, handle: TableHandle) -> PinnedTable {
-        let table = Arc::clone(&read_recover(&self.tables)[handle.0]);
+        let table = Arc::clone(&self.tables.read()[handle.0]);
         PinnedTable {
             store: Arc::clone(self),
             table,
@@ -365,7 +353,7 @@ impl EmbeddingStore {
 
     /// Point-in-time counters and gauges.
     pub fn stats(&self) -> StoreStats {
-        let tables = read_recover(&self.tables);
+        let tables = self.tables.read();
         let mut rows = 0u64;
         let mut resident_bytes = 0u64;
         let mut f32_bytes = 0u64;
@@ -433,7 +421,7 @@ impl EmbeddingStore {
     /// resident. O(resident set) per call; reporting path only.
     pub fn namespace_residency(&self, namespace: u64) -> (u64, u64) {
         let handles: Vec<u64> = {
-            let index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+            let index = self.index.lock();
             index
                 .iter()
                 .filter(|((ns, _), _)| *ns == namespace)
@@ -441,7 +429,7 @@ impl EmbeddingStore {
                 .collect()
         };
         let total: u64 = {
-            let tables = read_recover(&self.tables);
+            let tables = self.tables.read();
             handles
                 .iter()
                 .map(|&h| tables[h as usize].rows as u64)

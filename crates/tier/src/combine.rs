@@ -86,7 +86,7 @@ impl CombineCache {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CombineInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        drec_sync::lock_recover(&self.inner)
     }
 
     /// Serves the pair `(a, b)` from the cache if present: adds the

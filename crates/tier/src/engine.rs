@@ -227,15 +227,15 @@ impl TierEngine {
     }
 
     fn lock_clock(&self) -> std::sync::MutexGuard<'_, ResidencyClock> {
-        self.clock.lock().unwrap_or_else(|e| e.into_inner())
+        drec_sync::lock_recover(&self.clock)
     }
 
     fn lock_pending(&self) -> std::sync::MutexGuard<'_, HashSet<u64>> {
-        self.pending.lock().unwrap_or_else(|e| e.into_inner())
+        drec_sync::lock_recover(&self.pending)
     }
 
     fn lock_admission(&self) -> std::sync::MutexGuard<'_, HashMap<u64, u32>> {
-        self.admission.lock().unwrap_or_else(|e| e.into_inner())
+        drec_sync::lock_recover(&self.admission)
     }
 
     /// Bumps `key`'s demand-touch frequency (no-op at `admit_after <=
