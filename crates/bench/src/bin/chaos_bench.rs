@@ -24,13 +24,15 @@
 //! * a disabled fault hook costs < 25 ns per call (it is one
 //!   branch-on-None; the bound is generous for CI noise).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use drec_models::{ModelId, ModelScale};
+use drec_sched::{ModelSlo, MultiServeHandle, MultiServeRuntime, SchedConfig};
 use drec_serve::{
-    FaultHook, FaultPlan, ServeConfig, ServeError, ServeRuntime, StoreConfig, SupervisorConfig,
+    EmbeddingStore, FaultCounts, FaultHook, FaultPlan, ServeConfig, ServeError, ServeRuntime,
+    StoreConfig, SupervisorConfig, UpdatePlan, Updater, UpdaterStats,
 };
 use drec_workload::QueryGen;
 
@@ -42,6 +44,12 @@ const AVAILABILITY_GATE: f64 = 0.99;
 const DISABLED_HOOK_GATE_NANOS: f64 = 25.0;
 /// A pending request unanswered after this long counts as hung.
 const HANG_TIMEOUT: Duration = Duration::from_secs(30);
+/// Upper bound on the warm read-path cost of per-batch epoch pinning
+/// (the rolling-update read guard), as a ratio over the unpinned floor.
+const PIN_OVERHEAD_GATE: f64 = 1.03;
+/// Per-batch staleness bound the rolling update must hold: once version
+/// N is published for a model, every batch serves version >= N-1.
+const STALENESS_BOUND: u64 = 1;
 
 struct Args {
     smoke: bool,
@@ -185,6 +193,259 @@ fn run_chaos(
     (tally, stats, elapsed)
 }
 
+/// Per-model outcome of the rolling update.
+struct RollingRow {
+    model: ModelId,
+    final_version: u64,
+    max_staleness: u64,
+    staleness_samples: u64,
+    bit_identical: bool,
+}
+
+/// Everything the rolling-update scenario produced.
+struct RollingOutcome {
+    admitted: u64,
+    ok: u64,
+    hung: u64,
+    errored: u64,
+    rows: Vec<RollingRow>,
+    versions_per_model: u64,
+    stats: UpdaterStats,
+    faults: FaultCounts,
+    elapsed: f64,
+}
+
+/// Same-seed generators produce the same query: submit one probe for
+/// `model` and return the response outputs as raw bits.
+fn probe_model_bits(handle: &MultiServeHandle, model: ModelId, seed: u64) -> Vec<Vec<u32>> {
+    let spec = handle.spec(model).expect("model co-located").clone();
+    let inputs = QueryGen::zipf(seed, 1.0).batch(&spec, 1);
+    let response = handle
+        .submit(model, inputs)
+        .expect("probe admits")
+        .wait()
+        .expect("probe answers");
+    response
+        .outputs
+        .iter()
+        .map(|v| {
+            v.as_dense()
+                .expect("dense output")
+                .as_slice()
+                .iter()
+                .map(|f| f.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+/// Part 4: the zero-downtime gate. All 8 models co-located on a shared
+/// store-backed scheduler under sustained Zipf traffic while a rolling
+/// update — embedding deltas plus MLP weight swaps, with injected
+/// update-path faults — walks every model, one at a time. The final
+/// version of each per-model plan restores the captured originals, so
+/// quiescence must be bit-identical with the pre-update oracle.
+fn run_rolling_update(smoke: bool) -> RollingOutcome {
+    let versions: u64 = if smoke { 3 } else { 4 };
+    let rows_per_version = if smoke { 8 } else { 32 };
+    let models: Vec<ModelId> = ModelId::ALL.to_vec();
+    let mut cfg = SchedConfig::tiny(
+        models
+            .iter()
+            .map(|&id| ModelSlo::new(id, Duration::from_millis(250)))
+            .collect(),
+    );
+    cfg.seed = 21;
+    cfg.cpu_workers = 2;
+    cfg.max_batch = 8;
+    cfg.queue_capacity = 4096;
+    cfg.delay_budget = Duration::from_secs(3600);
+    // CPU-only: every registered weight reader sits on the traffic path,
+    // so the updater's install pacing resolves in milliseconds. (A GPU
+    // lane's engines poll only when a batch is routed there — under this
+    // workload that may be never, and the updater would ride its install
+    // timeout for every version.)
+    cfg.gpu = None;
+    cfg.tuner = None;
+    cfg.store = Some(StoreConfig {
+        cache_capacity_rows: 4096,
+        ..StoreConfig::default()
+    });
+    let runtime = MultiServeRuntime::start(cfg).expect("co-located runtime starts");
+    let handle = runtime.handle();
+
+    // Pre-update oracle, captured before traffic starts.
+    let oracles: Vec<Vec<Vec<u32>>> = models
+        .iter()
+        .map(|&id| probe_model_bits(&handle, id, 0x0AC1E ^ id as u64))
+        .collect();
+
+    // Sustained Zipf traffic: one closed-loop producer per model, racing
+    // the entire rolling update.
+    let start = Instant::now();
+    let done = Arc::new(AtomicBool::new(false));
+    let admitted = Arc::new(AtomicU64::new(0));
+    let ok = Arc::new(AtomicU64::new(0));
+    let hung = Arc::new(AtomicU64::new(0));
+    let errored = Arc::new(AtomicU64::new(0));
+    let producers: Vec<_> = models
+        .iter()
+        .map(|&id| {
+            let handle = runtime.handle();
+            let done = Arc::clone(&done);
+            let (admitted, ok, hung, errored) = (
+                Arc::clone(&admitted),
+                Arc::clone(&ok),
+                Arc::clone(&hung),
+                Arc::clone(&errored),
+            );
+            std::thread::spawn(move || {
+                let spec = handle.spec(id).expect("model co-located").clone();
+                let mut gen = QueryGen::zipf(0x201F ^ id as u64, 1.0);
+                while !done.load(Ordering::Relaxed) {
+                    let pending = match handle.submit(id, gen.batch(&spec, 1)) {
+                        Ok(pending) => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            pending
+                        }
+                        Err(_) => continue,
+                    };
+                    match pending.wait_timeout(HANG_TIMEOUT) {
+                        Some(Ok(_)) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(Err(_)) => {
+                            errored.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            hung.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The rolling update itself, on its own thread (the publish path
+    // synchronizes the reclamation epoch — an inline run on a worker
+    // would deadlock on its own pin). One shared fault hook aggregates
+    // the injected update faults across all per-model runs.
+    let hook = FaultHook::from_plan(&FaultPlan {
+        update_crash_every_n_batches: Some(3),
+        update_delay_every_n_batches: Some(4),
+        update_publish_delay: Duration::from_millis(2),
+        update_duplicate_every_n_batches: Some(5),
+        ..FaultPlan::quiet(0xD1CE)
+    });
+    let channels = runtime.update_channels();
+    let updater_thread = {
+        let hook = hook.clone();
+        std::thread::spawn(move || {
+            let mut total = UpdaterStats::default();
+            for channel in channels {
+                let mut updater = Updater::new(
+                    channel,
+                    UpdatePlan {
+                        versions,
+                        rows_per_version,
+                        pace: Duration::from_millis(1),
+                        seed: 0xFEED,
+                    },
+                );
+                updater.set_fault_hook(hook.clone());
+                let stats = updater.run().expect("rolling update completes");
+                total.accumulate(&stats);
+            }
+            total
+        })
+    };
+    let stats = updater_thread.join().expect("updater thread");
+    done.store(true, Ordering::Relaxed);
+    for p in producers {
+        p.join().expect("producer thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Quiescence: per-model staleness/version bookkeeping and the
+    // bit-identity probe against the pre-update oracle.
+    let rows: Vec<RollingRow> = models
+        .iter()
+        .zip(&oracles)
+        .map(|(&id, oracle)| {
+            let channel = runtime.update_channel(id).expect("channel exists");
+            RollingRow {
+                model: id,
+                final_version: channel.current_version(),
+                max_staleness: channel.max_staleness(),
+                staleness_samples: channel.staleness_samples(),
+                bit_identical: probe_model_bits(&handle, id, 0x0AC1E ^ id as u64) == *oracle,
+            }
+        })
+        .collect();
+    drop(handle);
+    runtime.shutdown();
+    RollingOutcome {
+        admitted: admitted.load(Ordering::Relaxed),
+        ok: ok.load(Ordering::Relaxed),
+        hung: hung.load(Ordering::Relaxed),
+        errored: errored.load(Ordering::Relaxed),
+        rows,
+        versions_per_model: versions,
+        stats,
+        faults: hook.counts(),
+        elapsed,
+    }
+}
+
+/// Part 5: the read-path cost of version pinning. Engines pin the
+/// reclamation epoch once per batch; on the warm cached-row floor that
+/// must stay within [`PIN_OVERHEAD_GATE`] of the unpinned read loop.
+/// Interleaved min-of-trials keeps the comparison noise-immune.
+fn measure_pin_overhead(smoke: bool) -> (f64, f64) {
+    const ROWS: u32 = 1024;
+    const DIM: usize = 16;
+    const BATCH: usize = 64;
+    let store = Arc::new(EmbeddingStore::new(StoreConfig {
+        cache_capacity_rows: 4096,
+        ..StoreConfig::default()
+    }));
+    let data: Vec<f32> = (0..ROWS as usize * DIM).map(|i| i as f32 * 0.125).collect();
+    store
+        .register(1, 0, ROWS as usize, DIM, &data)
+        .expect("table registers");
+    let pin = store
+        .try_pin(store.lookup(1, 0).expect("table exists"))
+        .expect("pin");
+    let mut buf = vec![0.0f32; DIM];
+    for row in 0..ROWS {
+        pin.read_row_raw(row, &mut buf).expect("warm read");
+    }
+    let reads_per_trial: u32 = if smoke { 50_000 } else { 200_000 };
+    let trials = 7;
+    let mut base_ns = f64::INFINITY;
+    let mut pinned_ns = f64::INFINITY;
+    for _ in 0..trials {
+        let start = Instant::now();
+        for i in 0..reads_per_trial {
+            pin.read_row_raw(i % ROWS, &mut buf).expect("read");
+            std::hint::black_box(&buf);
+        }
+        base_ns = base_ns.min(start.elapsed().as_secs_f64() * 1e9 / reads_per_trial as f64);
+        let start = Instant::now();
+        let mut i = 0u32;
+        while i < reads_per_trial {
+            let _epoch = store.pin_epoch();
+            for _ in 0..BATCH {
+                pin.read_row_raw(i % ROWS, &mut buf).expect("read");
+                std::hint::black_box(&buf);
+                i += 1;
+            }
+        }
+        pinned_ns = pinned_ns.min(start.elapsed().as_secs_f64() * 1e9 / reads_per_trial as f64);
+    }
+    (base_ns, pinned_ns)
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.9}")
@@ -204,6 +465,8 @@ fn write_json(
     stats: &drec_serve::MetricsSnapshot,
     elapsed: f64,
     availability: f64,
+    rolling: &RollingOutcome,
+    pin: (f64, f64),
 ) {
     let mut s = String::from("{\n");
     s.push_str(&format!(
@@ -245,17 +508,79 @@ fn write_json(
         json_f64(elapsed)
     ));
     s.push_str(&format!(
-        "    \"entered_reduced_batch\": {},\n    \"entered_cache_only\": {},\n    \"cache_only_skips\": {}\n  }},\n",
+        "    \"entered_update_backpressure\": {},\n    \"recovered_update_backpressure\": {},\n    \"entered_reduced_batch\": {},\n    \"entered_cache_only\": {},\n    \"cache_only_skips\": {}\n  }},\n",
+        stats.entered_update_backpressure,
+        stats.recovered_update_backpressure,
         stats.entered_reduced_batch,
         stats.entered_cache_only,
         stats.store.as_ref().map_or(0, |st| st.cache_only_skips)
     ));
+    let r_answered = rolling.ok + rolling.errored;
+    let r_avail = if rolling.admitted == 0 {
+        0.0
+    } else {
+        rolling.ok as f64 / rolling.admitted as f64
+    };
+    s.push_str("  \"rolling_update\": {\n");
+    s.push_str(&format!(
+        "    \"models\": {},\n    \"versions_per_model\": {},\n    \"admitted\": {},\n    \"ok\": {},\n    \"errored\": {},\n    \"hung\": {},\n    \"answered\": {},\n    \"availability\": {},\n    \"elapsed_seconds\": {},\n",
+        rolling.rows.len(),
+        rolling.versions_per_model,
+        rolling.admitted,
+        rolling.ok,
+        rolling.errored,
+        rolling.hung,
+        r_answered,
+        json_f64(r_avail),
+        json_f64(rolling.elapsed)
+    ));
+    s.push_str("    \"per_model\": [\n");
+    for (i, r) in rolling.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"model\": \"{}\", \"final_version\": {}, \"max_staleness\": {}, \"staleness_samples\": {}, \"bit_identical\": {}}}{}\n",
+            r.model,
+            r.final_version,
+            r.max_staleness,
+            r.staleness_samples,
+            r.bit_identical,
+            if i + 1 < rolling.rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ],\n");
+    s.push_str(&format!(
+        "    \"updater\": {{\"batches_applied\": {}, \"rows_applied\": {}, \"rolled_back\": {}, \"recovered\": {}, \"duplicates_rejected\": {}, \"throttle_waits\": {}, \"weight_sets_posted\": {}}},\n",
+        rolling.stats.batches_applied,
+        rolling.stats.rows_applied,
+        rolling.stats.rolled_back,
+        rolling.stats.recovered,
+        rolling.stats.duplicates_rejected,
+        rolling.stats.throttle_waits,
+        rolling.stats.weight_sets_posted
+    ));
+    s.push_str(&format!(
+        "    \"update_faults\": {{\"injected_batches\": {}, \"crashes\": {}, \"publish_delays\": {}, \"duplicates\": {}}},\n",
+        rolling.faults.update_batches,
+        rolling.faults.update_crashes,
+        rolling.faults.update_publish_delays,
+        rolling.faults.update_duplicates
+    ));
+    s.push_str(&format!(
+        "    \"pin_overhead\": {{\"baseline_ns_per_row\": {}, \"pinned_ns_per_row\": {}, \"ratio\": {}, \"gate\": {PIN_OVERHEAD_GATE}}}\n  }},\n",
+        json_f64(pin.0),
+        json_f64(pin.1),
+        json_f64(pin.1 / pin.0.max(1e-12))
+    ));
     s.push_str("  \"checks\": {\n");
     s.push_str(&format!(
-        "    \"availability_gate\": {AVAILABILITY_GATE},\n    \"all_answered\": {},\n    \"workers_restarted\": {},\n    \"reference_identity_all\": {},\n    \"disabled_hook_gate_ns\": {DISABLED_HOOK_GATE_NANOS}\n",
+        "    \"availability_gate\": {AVAILABILITY_GATE},\n    \"all_answered\": {},\n    \"workers_restarted\": {},\n    \"reference_identity_all\": {},\n    \"disabled_hook_gate_ns\": {DISABLED_HOOK_GATE_NANOS},\n    \"rolling_all_answered\": {},\n    \"rolling_availability_one\": {},\n    \"rolling_staleness_bound\": {STALENESS_BOUND},\n    \"rolling_staleness_held\": {},\n    \"rolling_bit_identical_all\": {},\n    \"pin_overhead_gate\": {PIN_OVERHEAD_GATE},\n    \"pin_overhead_held\": {}\n",
         tally.hung == 0,
         stats.worker_restarts > 0,
-        identity.iter().all(|r| r.bit_identical)
+        identity.iter().all(|r| r.bit_identical),
+        rolling.hung == 0 && r_answered == rolling.admitted,
+        rolling.errored == 0,
+        rolling.rows.iter().all(|r| r.max_staleness <= STALENESS_BOUND),
+        rolling.rows.iter().all(|r| r.bit_identical),
+        pin.1 <= pin.0 * PIN_OVERHEAD_GATE
     ));
     s.push_str("  }\n}\n");
     std::fs::write(path, s).expect("write BENCH_chaos.json");
@@ -361,6 +686,55 @@ fn main() {
         elapsed
     );
 
+    // Part 4: the zero-downtime rolling update across all 8 co-located
+    // models, with injected update-path faults.
+    println!(
+        "Rolling update: all {} models, sustained Zipf traffic, injected update faults...",
+        ModelId::ALL.len()
+    );
+    let rolling = run_rolling_update(args.smoke);
+    let r_answered = rolling.ok + rolling.errored;
+    println!(
+        "  admitted {} (ok {}, errored {}, hung {}) over {:.2}s",
+        rolling.admitted, rolling.ok, rolling.errored, rolling.hung, rolling.elapsed
+    );
+    for r in &rolling.rows {
+        println!(
+            "  {:<8} v{}  max-staleness {}  ({} samples)  bit-identical: {}",
+            r.model.to_string(),
+            r.final_version,
+            r.max_staleness,
+            r.staleness_samples,
+            r.bit_identical
+        );
+    }
+    println!(
+        "  updater: {} batches ({} rows), {} rolled back / {} recovered, {} duplicates rejected, {} throttle waits, {} weight sets",
+        rolling.stats.batches_applied,
+        rolling.stats.rows_applied,
+        rolling.stats.rolled_back,
+        rolling.stats.recovered,
+        rolling.stats.duplicates_rejected,
+        rolling.stats.throttle_waits,
+        rolling.stats.weight_sets_posted
+    );
+    println!(
+        "  update faults: {} batches seen, {} crashes, {} publish delays, {} duplicates",
+        rolling.faults.update_batches,
+        rolling.faults.update_crashes,
+        rolling.faults.update_publish_delays,
+        rolling.faults.update_duplicates
+    );
+
+    // Part 5: warm read-path cost of the per-batch epoch pin.
+    let pin = measure_pin_overhead(args.smoke);
+    println!(
+        "Pin overhead: {:.2} ns/row unpinned, {:.2} ns/row pinned ({:.4}x)",
+        pin.0,
+        pin.1,
+        pin.1 / pin.0.max(1e-12)
+    );
+
     write_json(
         "BENCH_chaos.json",
         args.smoke,
@@ -371,6 +745,8 @@ fn main() {
         &stats,
         elapsed,
         availability,
+        &rolling,
+        pin,
     );
     println!("Wrote BENCH_chaos.json");
 
@@ -406,5 +782,70 @@ fn main() {
         "disabled hook costs {disabled_ns:.2} ns/call, above the {DISABLED_HOOK_GATE_NANOS} ns gate"
     );
     println!("Gate: disabled hook {disabled_ns:.2} ns/call < {DISABLED_HOOK_GATE_NANOS} ns — ok");
+
+    // Rolling-update gates: zero availability loss, zero hung, the
+    // staleness bound, fault recovery, and quiescent bit-identity.
+    assert_eq!(rolling.hung, 0, "requests hung during the rolling update");
+    assert_eq!(
+        r_answered, rolling.admitted,
+        "every request admitted during the rolling update must be answered"
+    );
+    assert_eq!(
+        rolling.errored, 0,
+        "a rolling update must not error any request: {} errored",
+        rolling.errored
+    );
+    println!(
+        "Gate: rolling update answered all {} admitted requests, zero errors, none hung — ok",
+        rolling.admitted
+    );
+    for r in &rolling.rows {
+        assert_eq!(
+            r.final_version, rolling.versions_per_model,
+            "{}: rolling update did not complete",
+            r.model
+        );
+        assert!(
+            r.max_staleness <= STALENESS_BOUND,
+            "{}: staleness {} exceeds the N-{STALENESS_BOUND} bound",
+            r.model,
+            r.max_staleness
+        );
+        assert!(
+            r.bit_identical,
+            "{}: post-update outputs differ from the pre-update oracle",
+            r.model
+        );
+    }
+    println!(
+        "Gate: all {} models at v{}, staleness <= {STALENESS_BOUND}, quiescence bit-identical — ok",
+        rolling.rows.len(),
+        rolling.versions_per_model
+    );
+    assert!(
+        rolling.stats.rolled_back >= 1 && rolling.stats.recovered == rolling.stats.rolled_back,
+        "injected update crashes must roll back and recover: {} rolled back, {} recovered",
+        rolling.stats.rolled_back,
+        rolling.stats.recovered
+    );
+    assert!(
+        rolling.stats.duplicates_rejected >= 1,
+        "injected duplicate deltas must be rejected by the version check"
+    );
+    println!(
+        "Gate: {} injected crashes rolled back and recovered, {} duplicates rejected — ok",
+        rolling.stats.rolled_back, rolling.stats.duplicates_rejected
+    );
+    assert!(
+        pin.1 <= pin.0 * PIN_OVERHEAD_GATE,
+        "epoch pinning costs {:.2} ns/row vs {:.2} unpinned ({:.4}x), above the {PIN_OVERHEAD_GATE}x gate",
+        pin.1,
+        pin.0,
+        pin.1 / pin.0.max(1e-12)
+    );
+    println!(
+        "Gate: epoch pin overhead {:.4}x <= {PIN_OVERHEAD_GATE}x — ok",
+        pin.1 / pin.0.max(1e-12)
+    );
     println!("All checks passed.");
 }

@@ -60,6 +60,18 @@ pub struct FaultPlan {
     pub delay_every_n_reads: Option<u64>,
     /// Duration of an injected read stall.
     pub read_delay: Duration,
+    /// Crash every nth update delta batch mid-application (exercises the
+    /// store's atomic rollback to the prior version).
+    pub update_crash_every_n_batches: Option<u64>,
+    /// Delay every nth update batch's version publish by
+    /// [`FaultPlan::update_publish_delay`] (widens the window in which
+    /// readers legitimately serve version N−1).
+    pub update_delay_every_n_batches: Option<u64>,
+    /// Duration of an injected publish delay.
+    pub update_publish_delay: Duration,
+    /// Re-submit every nth update delta batch a second time (exercises
+    /// the store's typed duplicate/version-conflict rejection).
+    pub update_duplicate_every_n_batches: Option<u64>,
 }
 
 impl FaultPlan {
@@ -73,6 +85,10 @@ impl FaultPlan {
             poison_every_n_reads: None,
             delay_every_n_reads: None,
             read_delay: Duration::ZERO,
+            update_crash_every_n_batches: None,
+            update_delay_every_n_batches: None,
+            update_publish_delay: Duration::ZERO,
+            update_duplicate_every_n_batches: None,
         }
     }
 }
@@ -110,6 +126,30 @@ pub enum ReadFault {
     Delay(Duration),
 }
 
+/// What the updater should do with the delta batch it is about to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateFault {
+    /// Apply normally.
+    None,
+    /// The store crashes mid-application: half the deltas land, then the
+    /// batch rolls back atomically to the prior version and the caller
+    /// sees a typed abort.
+    CrashMidBatch {
+        /// Global update-batch index the crash was scheduled at.
+        batch: u64,
+    },
+    /// Apply all deltas, then stall for the given duration before
+    /// publishing the new version.
+    DelayPublish(Duration),
+    /// Apply normally, then re-submit the identical batch (same target
+    /// version); the second submission must be rejected with a typed
+    /// version conflict, not applied twice.
+    DuplicateDelta {
+        /// Global update-batch index the duplicate was scheduled at.
+        batch: u64,
+    },
+}
+
 /// Counts of faults actually injected so far (for reports and gates).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCounts {
@@ -125,6 +165,14 @@ pub struct FaultCounts {
     pub poisons: u64,
     /// Injected read delays.
     pub delays: u64,
+    /// Update delta batches observed by the hook.
+    pub update_batches: u64,
+    /// Injected mid-batch update crashes (each rolls back atomically).
+    pub update_crashes: u64,
+    /// Injected publish delays on update batches.
+    pub update_publish_delays: u64,
+    /// Injected duplicate delta submissions.
+    pub update_duplicates: u64,
 }
 
 #[derive(Debug)]
@@ -184,6 +232,11 @@ struct FaultState {
     poison: Option<Periodic>,
     delay: Option<Periodic>,
     read_delay: Duration,
+    update_batches: AtomicU64,
+    update_crash: Option<Periodic>,
+    update_delay: Option<Periodic>,
+    update_publish_delay: Duration,
+    update_duplicate: Option<Periodic>,
 }
 
 /// A cheap, cloneable handle to a shared fault schedule, threaded
@@ -215,6 +268,15 @@ impl FaultHook {
                 poison: Periodic::new(plan.poison_every_n_reads, plan.seed, 0x90),
                 delay: Periodic::new(plan.delay_every_n_reads, plan.seed, 0xD0),
                 read_delay: plan.read_delay,
+                update_batches: AtomicU64::new(0),
+                update_crash: Periodic::new(plan.update_crash_every_n_batches, plan.seed, 0x5C),
+                update_delay: Periodic::new(plan.update_delay_every_n_batches, plan.seed, 0x5D),
+                update_publish_delay: plan.update_publish_delay,
+                update_duplicate: Periodic::new(
+                    plan.update_duplicate_every_n_batches,
+                    plan.seed,
+                    0x5E,
+                ),
             })),
         }
     }
@@ -259,6 +321,40 @@ impl FaultHook {
         ReadFault::None
     }
 
+    /// Called by the updater once per delta batch, before handing it to
+    /// the store. Crashes take precedence over publish delays, which
+    /// take precedence over duplicates, when several are scheduled for
+    /// the same batch.
+    #[inline]
+    pub fn on_update(&self) -> UpdateFault {
+        let Some(state) = &self.state else {
+            return UpdateFault::None;
+        };
+        let batch = state.update_batches.fetch_add(1, Ordering::Relaxed);
+        if state
+            .update_crash
+            .as_ref()
+            .is_some_and(|p| p.fires_at(batch))
+        {
+            return UpdateFault::CrashMidBatch { batch };
+        }
+        if state
+            .update_delay
+            .as_ref()
+            .is_some_and(|p| p.fires_at(batch))
+        {
+            return UpdateFault::DelayPublish(state.update_publish_delay);
+        }
+        if state
+            .update_duplicate
+            .as_ref()
+            .is_some_and(|p| p.fires_at(batch))
+        {
+            return UpdateFault::DuplicateDelta { batch };
+        }
+        UpdateFault::None
+    }
+
     /// Events observed and faults injected so far (all zero for a
     /// disabled hook).
     pub fn counts(&self) -> FaultCounts {
@@ -271,6 +367,10 @@ impl FaultHook {
                 corruptions: s.corrupt.as_ref().map_or(0, Periodic::fired),
                 poisons: s.poison.as_ref().map_or(0, Periodic::fired),
                 delays: s.delay.as_ref().map_or(0, Periodic::fired),
+                update_batches: s.update_batches.load(Ordering::Relaxed),
+                update_crashes: s.update_crash.as_ref().map_or(0, Periodic::fired),
+                update_publish_delays: s.update_delay.as_ref().map_or(0, Periodic::fired),
+                update_duplicates: s.update_duplicate.as_ref().map_or(0, Periodic::fired),
             },
         }
     }
@@ -375,6 +475,46 @@ mod tests {
         assert_eq!(poisons, 3);
         assert!(delays >= 9, "10 scheduled minus up to 1 shadowed: {delays}");
         assert_eq!(hook.counts().reads, 30);
+    }
+
+    #[test]
+    fn update_faults_fire_on_schedule_with_crash_precedence() {
+        let plan = FaultPlan {
+            update_crash_every_n_batches: Some(4),
+            update_delay_every_n_batches: Some(4),
+            update_publish_delay: Duration::from_micros(5),
+            update_duplicate_every_n_batches: Some(3),
+            ..FaultPlan::quiet(11)
+        };
+        let hook = FaultHook::from_plan(&plan);
+        let a: Vec<UpdateFault> = (0..24).map(|_| hook.on_update()).collect();
+        let b: Vec<UpdateFault> = (0..24)
+            .map(|_| FaultHook::from_plan(&plan).on_update())
+            .collect();
+        drop(b); // each fresh hook sees batch 0 — determinism is checked below
+        let again: Vec<UpdateFault> = {
+            let h = FaultHook::from_plan(&plan);
+            (0..24).map(|_| h.on_update()).collect()
+        };
+        assert_eq!(a, again, "same plan must give the same update schedule");
+        let crashes = a
+            .iter()
+            .filter(|f| matches!(f, UpdateFault::CrashMidBatch { .. }))
+            .count();
+        assert_eq!(crashes, 6, "one crash per period of 4 over 24 batches");
+        let delays = a
+            .iter()
+            .filter(|f| matches!(f, UpdateFault::DelayPublish(_)))
+            .count();
+        // Crash and delay share period 4; whenever their phases collide
+        // the crash shadows the delay entirely.
+        assert!(delays <= 6);
+        let counts = hook.counts();
+        assert_eq!(counts.update_batches, 24);
+        assert_eq!(counts.update_crashes, 6);
+        assert!(counts.update_duplicates <= 8);
+        // A disabled hook never injects update faults.
+        assert_eq!(FaultHook::disabled().on_update(), UpdateFault::None);
     }
 
     #[test]

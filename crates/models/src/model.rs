@@ -223,6 +223,85 @@ impl RecModel {
         bindings
     }
 
+    /// Clones every fully-connected layer's installed weight set, in
+    /// graph node order — the MLP half of a versioned model snapshot.
+    /// The order is stable for a given model build, so a set captured
+    /// here round-trips through [`RecModel::install_fc_weights`] on any
+    /// identically built model.
+    pub fn capture_fc_weights(&self) -> Vec<(drec_tensor::Tensor, drec_tensor::Tensor)> {
+        use drec_ops::FullyConnected;
+        let mut layers = Vec::new();
+        for node in self.graph.nodes() {
+            let Some(any) = node.op().as_any() else {
+                continue;
+            };
+            if let Some(fc) = any.downcast_ref::<FullyConnected>() {
+                let params = fc.params();
+                layers.push((params.weights.clone(), params.bias.clone()));
+            }
+        }
+        layers
+    }
+
+    /// Atomically swaps every fully-connected layer's weight set — the
+    /// rolling-update path for the model's MLP half. `layers` must hold
+    /// one `(weights, bias)` pair per FC layer in the same graph node
+    /// order [`RecModel::capture_fc_weights`] uses. Compiled plans pick
+    /// the swap up too: fused FC ops share the graph node's parameter
+    /// handle. In-flight batches finish on the set they already pinned.
+    ///
+    /// # Errors
+    ///
+    /// [`drec_ops::OpError::InvalidInput`] on a layer-count or shape
+    /// mismatch. Shapes are validated for **all** layers before any swap
+    /// lands, so a rejected set leaves the model untouched.
+    pub fn install_fc_weights(
+        &self,
+        layers: &[(drec_tensor::Tensor, drec_tensor::Tensor)],
+    ) -> Result<(), drec_ops::OpError> {
+        use drec_ops::{FcParams, FullyConnected, OpError};
+        let fcs: Vec<&FullyConnected> = self
+            .graph
+            .nodes()
+            .iter()
+            .filter_map(|node| node.op().as_any()?.downcast_ref::<FullyConnected>())
+            .collect();
+        if fcs.len() != layers.len() {
+            return Err(OpError::InvalidInput {
+                op: "FC",
+                message: format!(
+                    "weight-set has {} layers, model has {} FC nodes",
+                    layers.len(),
+                    fcs.len()
+                ),
+            });
+        }
+        for (fc, (weights, bias)) in fcs.iter().zip(layers) {
+            if weights.dims() != [fc.out_features(), fc.in_features()]
+                || bias.dims() != [fc.out_features()]
+            {
+                return Err(OpError::InvalidInput {
+                    op: "FC",
+                    message: format!(
+                        "weight-set shape {:?}/{:?} does not fit layer {}x{}",
+                        weights.dims(),
+                        bias.dims(),
+                        fc.out_features(),
+                        fc.in_features()
+                    ),
+                });
+            }
+        }
+        for (fc, (weights, bias)) in fcs.iter().zip(layers) {
+            fc.swap_params(std::sync::Arc::new(FcParams {
+                weights: weights.clone(),
+                bias: bias.clone(),
+            }))
+            .expect("shapes validated above");
+        }
+        Ok(())
+    }
+
     /// Sets the per-op retained-memory-event target for traced runs.
     pub fn set_trace_target(&mut self, target_events_per_op: usize) {
         self.ctx.set_trace_target(target_events_per_op);

@@ -150,3 +150,44 @@ fn traced_plan_runs_match_unfused_kernel_totals() {
         assert_eq!(reference.summary(), traced.summary(), "{id} summary");
     }
 }
+
+#[test]
+fn fc_weight_swap_reaches_compiled_plans_and_round_trips() {
+    for id in [ModelId::Rm1, ModelId::Wnd] {
+        let mut model = id.build(ModelScale::Tiny, 7).unwrap();
+        model.compile_plan();
+        let baseline = model.run(make_inputs(&model, 2, 11)).unwrap();
+        let original = model.capture_fc_weights();
+        assert!(!original.is_empty(), "{id}: no FC layers captured");
+
+        // Install a perturbed set: the compiled (possibly fused) plan
+        // must compute from the new weights.
+        let perturbed: Vec<_> = original
+            .iter()
+            .map(|(w, b)| (w.map(|v| v * 1.5 + 0.125), b.map(|v| v - 0.25)))
+            .collect();
+        model.install_fc_weights(&perturbed).unwrap();
+        let swapped = model.run(make_inputs(&model, 2, 11)).unwrap();
+        let differs = baseline.iter().zip(&swapped).any(|(a, b)| {
+            a.as_dense()
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(b.as_dense().unwrap().as_slice())
+                .any(|(x, y)| x.to_bits() != y.to_bits())
+        });
+        assert!(differs, "{id}: swapped weights did not reach the plan");
+
+        // Restoring the captured set is bit-identical to the baseline.
+        model.install_fc_weights(&original).unwrap();
+        let restored = model.run(make_inputs(&model, 2, 11)).unwrap();
+        assert_bits_eq(id, &baseline, &restored, "restored weight set");
+
+        // A mismatched set is a typed error and leaves the model alone.
+        assert!(model
+            .install_fc_weights(&original[..original.len() - 1])
+            .is_err());
+        let after_reject = model.run(make_inputs(&model, 2, 11)).unwrap();
+        assert_bits_eq(id, &baseline, &after_reject, "rejected weight set");
+    }
+}

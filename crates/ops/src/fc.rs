@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use drec_tensor::{ParamInit, Tensor};
 use drec_trace::{BranchProfile, CodeFootprint, CodeRegion, WorkVector};
 
@@ -9,14 +11,29 @@ use crate::{kind_cost, ExecContext, OpError, OpKind, Operator, Result, Value};
 /// is what makes large FC stacks L2/L3/DRAM-sensitive at large batch.
 const GEMM_BLOCK_ROWS: usize = 32;
 
+/// The swappable parameter set of one [`FullyConnected`] layer: weights
+/// `[out_features, in_features]` plus bias `[out_features]`. Published
+/// as one `Arc` so a rolling weight-set swap replaces both tensors
+/// atomically — a batch never sees new weights with the old bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcParams {
+    /// Weight matrix, `[out_features, in_features]` (Caffe2 layout).
+    pub weights: Tensor,
+    /// Bias vector, `[out_features]`.
+    pub bias: Tensor,
+}
+
 /// Fully-connected layer: `Y = X·Wᵀ + b` (Caffe2 `FC`).
 ///
 /// Weights are stored `[out_features, in_features]`, matching Caffe2's
-/// layout.
+/// layout, behind an [`FcParams`] handle so live model updates can swap
+/// a whole weight set without rebuilding the graph (each `run` clones
+/// the `Arc` once and computes from a consistent set).
 #[derive(Debug)]
 pub struct FullyConnected {
-    weights: Tensor,
-    bias: Tensor,
+    params: std::sync::RwLock<Arc<FcParams>>,
+    in_features: usize,
+    out_features: usize,
     w_addr: u64,
     b_addr: u64,
     dispatch: CodeRegion,
@@ -36,8 +53,9 @@ impl FullyConnected {
         let w_addr = ctx.alloc_param((out_features * in_features * 4) as u64);
         let b_addr = ctx.alloc_param((out_features * 4) as u64);
         FullyConnected {
-            weights,
-            bias,
+            params: std::sync::RwLock::new(Arc::new(FcParams { weights, bias })),
+            in_features,
+            out_features,
             w_addr,
             b_addr,
             dispatch: ctx.alloc_dispatch(OpKind::Fc),
@@ -47,22 +65,54 @@ impl FullyConnected {
 
     /// Input feature count.
     pub fn in_features(&self) -> usize {
-        self.weights.dims()[1]
+        self.in_features
     }
 
     /// Output feature count.
     pub fn out_features(&self) -> usize {
-        self.weights.dims()[0]
+        self.out_features
     }
 
-    /// Weight matrix `[out_features, in_features]` (fused-op access).
-    pub(crate) fn weights_tensor(&self) -> &Tensor {
-        &self.weights
+    /// The currently installed parameter set. A poisoned lock is
+    /// recovered, not propagated (repo-wide policy: an isolated panic
+    /// must not turn into a full outage).
+    pub fn params(&self) -> Arc<FcParams> {
+        Arc::clone(
+            &self
+                .params
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
-    /// Bias vector `[out_features]` (fused-op access).
-    pub(crate) fn bias_tensor(&self) -> &Tensor {
-        &self.bias
+    /// Atomically installs a new parameter set (a live MLP weight swap).
+    /// In-flight `run` calls finish on the set they already cloned; the
+    /// next call picks up `new`.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::InvalidInput`] when the shapes do not match this
+    /// layer's `[out_features, in_features]` / `[out_features]`.
+    pub fn swap_params(&self, new: Arc<FcParams>) -> Result<()> {
+        if new.weights.dims() != [self.out_features, self.in_features]
+            || new.bias.dims() != [self.out_features]
+        {
+            return Err(OpError::InvalidInput {
+                op: "FC",
+                message: format!(
+                    "weight-set shape {:?}/{:?} does not fit layer {}x{}",
+                    new.weights.dims(),
+                    new.bias.dims(),
+                    self.out_features,
+                    self.in_features
+                ),
+            });
+        }
+        *self
+            .params
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = new;
+        Ok(())
     }
 }
 
@@ -76,7 +126,7 @@ impl Operator for FullyConnected {
     }
 
     fn param_bytes(&self) -> u64 {
-        ((self.weights.numel() + self.bias.numel()) * 4) as u64
+        ((self.out_features * self.in_features + self.out_features) * 4) as u64
     }
 
     fn run(&self, ctx: &mut ExecContext, inputs: &[&Value]) -> Result<Value> {
@@ -94,12 +144,16 @@ impl Operator for FullyConnected {
         }
         let out_f = self.out_features();
 
+        // One Arc clone pins a consistent weight/bias set for the whole
+        // pass, however a concurrent swap lands.
+        let params = self.params();
+
         // Functional compute, into an arena buffer so repeated FC layers
         // reuse activation storage instead of allocating.
         let mut buf = ctx.take_buffer(batch * out_f);
-        x.matmul_transposed_into(&self.weights, &mut buf)?;
+        x.matmul_transposed_into(&params.weights, &mut buf)?;
         for row in buf.chunks_mut(out_f.max(1)) {
-            for (v, b) in row.iter_mut().zip(self.bias.as_slice()) {
+            for (v, b) in row.iter_mut().zip(params.bias.as_slice()) {
                 *v += b;
             }
         }
@@ -108,7 +162,7 @@ impl Operator for FullyConnected {
 
         // Trace emission.
         if ctx.tracing_enabled() {
-            let w_bytes = (self.weights.numel() * 4) as u64;
+            let w_bytes = (params.weights.numel() * 4) as u64;
             let blocks = batch.div_ceil(GEMM_BLOCK_ROWS) as u64;
             let est_lines = (batch * in_f * 4) as u64 / 64
                 + blocks * w_bytes / 64
@@ -131,7 +185,7 @@ impl Operator for FullyConnected {
                 other_flops: (batch * out_f) as f64,
                 int_ops: macs / 64.0,
                 contig_load_elems: (batch * in_f) as f64
-                    + blocks as f64 * self.weights.numel() as f64
+                    + blocks as f64 * params.weights.numel() as f64
                     + out_f as f64,
                 contig_store_elems: (batch * out_f) as f64,
                 gather_rows: 0.0,
@@ -180,10 +234,48 @@ mod tests {
         let yt = y.as_dense().unwrap();
         assert_eq!(yt.dims(), &[2, 2]);
         // Row 0 = W[:,0] + b; row 1 = W[:,1] + b.
+        let params = fc.params();
         for j in 0..2 {
-            let expected0 = fc.weights.get(&[j, 0]).unwrap() + fc.bias.get(&[j]).unwrap();
+            let expected0 = params.weights.get(&[j, 0]).unwrap() + params.bias.get(&[j]).unwrap();
             assert!((yt.get(&[0, j]).unwrap() - expected0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn swap_params_changes_output_and_validates_shape() {
+        let (mut ctx, mut init) = setup();
+        let fc = FullyConnected::new(2, 2, &mut ctx, &mut init);
+        ctx.set_tracing(false);
+        let x = ctx.external_input(Value::dense(
+            Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap(),
+        ));
+        let before = fc.run(&mut ctx, &[&x]).unwrap();
+        let swapped = Arc::new(FcParams {
+            weights: Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap(),
+            bias: Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap(),
+        });
+        fc.swap_params(Arc::clone(&swapped)).unwrap();
+        let after = fc.run(&mut ctx, &[&x]).unwrap();
+        assert_eq!(after.as_dense().unwrap().as_slice(), &[1.5, 0.5]);
+        assert_ne!(
+            before.as_dense().unwrap().as_slice(),
+            after.as_dense().unwrap().as_slice()
+        );
+        assert_eq!(fc.params(), swapped);
+        // Wrong shapes are rejected and leave the installed set alone.
+        assert!(fc
+            .swap_params(Arc::new(FcParams {
+                weights: Tensor::zeros(&[3, 2]),
+                bias: Tensor::zeros(&[2]),
+            }))
+            .is_err());
+        assert!(fc
+            .swap_params(Arc::new(FcParams {
+                weights: Tensor::zeros(&[2, 2]),
+                bias: Tensor::zeros(&[3]),
+            }))
+            .is_err());
+        assert_eq!(fc.params(), swapped);
     }
 
     #[test]

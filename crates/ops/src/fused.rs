@@ -99,8 +99,11 @@ impl Operator for FusedFc {
         }
         let out_f = fc.out_features();
         let mut buf = ctx.take_buffer(batch * out_f);
-        x.matmul_transposed_into(fc.weights_tensor(), &mut buf)?;
-        let bias = fc.bias_tensor().as_slice();
+        // Shares the constituent FC's swappable parameter handle, so a
+        // live weight swap reaches the fused op too.
+        let params = fc.params();
+        x.matmul_transposed_into(&params.weights, &mut buf)?;
+        let bias = params.bias.as_slice();
         for row in buf.chunks_mut(out_f.max(1)) {
             for (v, b) in row.iter_mut().zip(bias) {
                 *v = self.act_kind.apply(*v + b);

@@ -63,7 +63,7 @@ pub use costs::{kind_cost, KindCost, FRAMEWORK_OVERHEAD_INSTRS};
 pub use elementwise::{Activation, ActivationKind, Mul, Sum};
 pub use embedding::{EmbeddingGather, EmbeddingTable, GatherMode, PoolMode, SparseLengthsSum};
 pub use error::OpError;
-pub use fc::FullyConnected;
+pub use fc::{FcParams, FullyConnected};
 pub use fused::{FusedConcatInput, FusedFc, MultiTableSls};
 pub use gru::Gru;
 pub use interaction::PairwiseDot;

@@ -43,8 +43,9 @@ use drec_ops::Value;
 use drec_par::ParPool;
 use drec_serve::{
     validate_single, BatchPoll, BatcherConfig, DegradeConfig, DispatchSignal, EmbeddingStore,
-    Engine, MetricsRegistry, MetricsSnapshot, ModelChannelMetrics, OverloadLadder, PendingResponse,
-    Request, Response, Result, ServeError, SharedQueue, StoreConfig, TakenBatch,
+    Engine, MetricsRegistry, MetricsSnapshot, ModelChannelMetrics, ModelUpdateChannel,
+    OverloadLadder, PendingResponse, Request, Response, Result, ServeError, SharedQueue,
+    StoreConfig, TakenBatch,
 };
 
 use crate::profile::{ModelProfile, ProfileConfig};
@@ -293,6 +294,10 @@ struct Lane {
     profile: ModelProfile,
     decisions: DecisionStats,
     pool_tier: AtomicUsize,
+    /// Live-update mailbox for this model: rolling weight swaps post
+    /// here and every engine replica of the lane polls it between
+    /// batches. Update throttling rides the lane's own overload ladder.
+    update: Arc<ModelUpdateChannel>,
 }
 
 /// A routed unit of work: one coalesced batch bound for one backend.
@@ -324,12 +329,14 @@ impl WorkerShared {
         .map_err(|e| ServeError::WorkerFailed {
             reason: format!("model build failed: {e}"),
         })?;
-        Ok(Engine::with_store(
+        let mut engine = Engine::with_store(
             model,
             lane.profile.cpu_curve.clone(),
             Arc::clone(&self.pools[0]),
             self.store.clone(),
-        ))
+        );
+        engine.set_update_channel(Arc::clone(&lane.update));
+        Ok(engine)
     }
 
     fn build_all_engines(&self) -> Result<Vec<Engine>> {
@@ -454,6 +461,12 @@ impl MultiServeRuntime {
                 Some(Arc::clone(&queue)),
                 Some(Arc::clone(&ladder)),
             );
+            let update = Arc::new(ModelUpdateChannel::new(
+                slo.id.name(),
+                drec_models::store_namespace(slo.id, cfg.scale, cfg.seed),
+                store.clone(),
+            ));
+            update.set_ladder(Arc::clone(&ladder));
             lanes.push(Lane {
                 id: slo.id,
                 spec,
@@ -463,6 +476,7 @@ impl MultiServeRuntime {
                 profile,
                 decisions: DecisionStats::default(),
                 pool_tier: AtomicUsize::new(0),
+                update,
             });
         }
         let lanes = Arc::new(lanes);
@@ -559,6 +573,19 @@ impl MultiServeRuntime {
     /// residency.
     pub fn store(&self) -> Option<&Arc<EmbeddingStore>> {
         self.store.as_ref()
+    }
+
+    /// The live-update mailbox of `model`, when co-located here. A
+    /// rolling updater posts weight sets and embedding deltas through
+    /// it; every engine replica of the lane polls it between batches.
+    pub fn update_channel(&self, model: ModelId) -> Option<&Arc<ModelUpdateChannel>> {
+        self.lanes.iter().find(|l| l.id == model).map(|l| &l.update)
+    }
+
+    /// Every lane's live-update mailbox, in co-location order — the
+    /// rolling-update chaos gate walks these one model at a time.
+    pub fn update_channels(&self) -> Vec<Arc<ModelUpdateChannel>> {
+        self.lanes.iter().map(|l| Arc::clone(&l.update)).collect()
     }
 
     /// A cloneable submission handle.

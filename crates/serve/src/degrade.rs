@@ -4,12 +4,15 @@
 //! shedding. It walks a ladder of progressively cheaper service modes,
 //! trading batch latency and then embedding fidelity for throughput:
 //!
-//! | level | name         | effect                                          |
-//! |-------|--------------|-------------------------------------------------|
-//! | 0     | Normal       | full batches, full-fidelity lookups             |
-//! | 1     | ReducedBatch | max batch halved → shorter coalesce waits       |
-//! | 2     | CacheOnly    | embedding reads served from hot-row cache only; |
-//! |       |              | cold shards skipped (counted quality loss)      |
+//! | level | name               | effect                                    |
+//! |-------|--------------------|-------------------------------------------|
+//! | 0     | Normal             | full batches, full-fidelity lookups       |
+//! | 1     | UpdateBackpressure | live parameter updates throttled — reads  |
+//! |       |                    | never are (the cheapest capacity to shed  |
+//! |       |                    | is background delta application)          |
+//! | 2     | ReducedBatch       | max batch halved → shorter coalesce waits |
+//! | 3     | CacheOnly          | embedding reads from hot-row cache only;  |
+//! |       |                    | cold shards skipped (counted quality loss)|
 //!
 //! Shedding ([`crate::ServeError::Overloaded`]) remains the backstop
 //! above the ladder, and priority-aware eviction runs underneath it.
@@ -30,6 +33,10 @@ use drec_sync::atomic::{AtomicU64, AtomicU8, Ordering};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegradeConfig {
     /// Queue-depth fraction (of `queue_capacity`) at which the ladder
+    /// steps to [`OverloadLevel::UpdateBackpressure`] — live parameter
+    /// update application is throttled before any read-path degradation.
+    pub update_backpressure_at: f64,
+    /// Queue-depth fraction (of `queue_capacity`) at which the ladder
     /// steps to [`OverloadLevel::ReducedBatch`].
     pub reduce_batch_at: f64,
     /// Queue-depth fraction at which the ladder steps to
@@ -46,6 +53,7 @@ pub struct DegradeConfig {
 impl Default for DegradeConfig {
     fn default() -> Self {
         DegradeConfig {
+            update_backpressure_at: 0.3,
             reduce_batch_at: 0.5,
             cache_only_at: 0.8,
             exit_hysteresis: 0.5,
@@ -59,6 +67,11 @@ impl Default for DegradeConfig {
 pub enum OverloadLevel {
     /// Full-fidelity service.
     Normal,
+    /// Live parameter update application is throttled (the updater
+    /// pauses between delta batches). Reads are **never** throttled by
+    /// this rung — background write capacity is the cheapest thing to
+    /// shed, so it goes first.
+    UpdateBackpressure,
     /// Max batch size halved (floored at `min_batch`) so coalesce waits
     /// shrink and queue drain accelerates.
     ReducedBatch,
@@ -71,7 +84,8 @@ impl OverloadLevel {
     fn from_u8(v: u8) -> OverloadLevel {
         match v {
             0 => OverloadLevel::Normal,
-            1 => OverloadLevel::ReducedBatch,
+            1 => OverloadLevel::UpdateBackpressure,
+            2 => OverloadLevel::ReducedBatch,
             _ => OverloadLevel::CacheOnly,
         }
     }
@@ -79,8 +93,9 @@ impl OverloadLevel {
     fn as_u8(self) -> u8 {
         match self {
             OverloadLevel::Normal => 0,
-            OverloadLevel::ReducedBatch => 1,
-            OverloadLevel::CacheOnly => 2,
+            OverloadLevel::UpdateBackpressure => 1,
+            OverloadLevel::ReducedBatch => 2,
+            OverloadLevel::CacheOnly => 3,
         }
     }
 }
@@ -89,6 +104,7 @@ impl std::fmt::Display for OverloadLevel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             OverloadLevel::Normal => "normal",
+            OverloadLevel::UpdateBackpressure => "update-backpressure",
             OverloadLevel::ReducedBatch => "reduced-batch",
             OverloadLevel::CacheOnly => "cache-only",
         })
@@ -96,8 +112,11 @@ impl std::fmt::Display for OverloadLevel {
 }
 
 /// Shared overload-ladder state. Producers call [`observe`] on every
-/// admission attempt; workers consult [`max_batch`]; the store is
-/// toggled in and out of cache-only mode at the level-2 boundary.
+/// admission attempt; workers consult [`max_batch`]; the live-update
+/// path consults [`updates_throttled`]; the store is toggled in and out
+/// of cache-only mode at the level-3 boundary.
+///
+/// [`updates_throttled`]: OverloadLadder::updates_throttled
 ///
 /// [`observe`]: OverloadLadder::observe
 /// [`max_batch`]: OverloadLadder::max_batch
@@ -107,16 +126,16 @@ pub struct OverloadLadder {
     capacity: usize,
     level: AtomicU8,
     /// Ladder steps up (toward degradation), by destination level.
-    steps_up: [AtomicU64; 2],
+    steps_up: [AtomicU64; 3],
     /// Ladder steps down (toward recovery), by origin level.
-    steps_down: [AtomicU64; 2],
+    steps_down: [AtomicU64; 3],
     store: Option<Arc<EmbeddingStore>>,
 }
 
 impl OverloadLadder {
     /// Builds a ladder over a queue of `capacity` slots. When `store` is
-    /// given and has a hot-row cache, level 2 toggles it into cache-only
-    /// mode; otherwise level 2 only shrinks batches further (the store
+    /// given and has a hot-row cache, level 3 toggles it into cache-only
+    /// mode; otherwise level 3 only shrinks batches further (the store
     /// refuses cache-only without a cache — see
     /// [`EmbeddingStore::set_cache_only`]).
     pub fn new(cfg: DegradeConfig, capacity: usize, store: Option<Arc<EmbeddingStore>>) -> Self {
@@ -124,8 +143,8 @@ impl OverloadLadder {
             cfg,
             capacity: capacity.max(1),
             level: AtomicU8::new(0),
-            steps_up: [AtomicU64::new(0), AtomicU64::new(0)],
-            steps_down: [AtomicU64::new(0), AtomicU64::new(0)],
+            steps_up: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            steps_down: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             store,
         }
     }
@@ -178,6 +197,8 @@ impl OverloadLadder {
             OverloadLevel::CacheOnly
         } else if fraction >= self.cfg.reduce_batch_at {
             OverloadLevel::ReducedBatch
+        } else if fraction >= self.cfg.update_backpressure_at {
+            OverloadLevel::UpdateBackpressure
         } else {
             OverloadLevel::Normal
         };
@@ -189,6 +210,7 @@ impl OverloadLadder {
         let exit_threshold = match level {
             OverloadLevel::CacheOnly => self.cfg.cache_only_at * h,
             OverloadLevel::ReducedBatch => self.cfg.reduce_batch_at * h,
+            OverloadLevel::UpdateBackpressure => self.cfg.update_backpressure_at * h,
             OverloadLevel::Normal => return OverloadLevel::Normal,
         };
         if fraction < exit_threshold {
@@ -214,24 +236,36 @@ impl OverloadLadder {
     }
 
     /// The batch cap workers should honour right now: `configured` at
-    /// level 0, halved (floored at `min_batch`) at levels 1 and 2.
+    /// levels 0–1 (update backpressure never touches the read path),
+    /// halved (floored at `min_batch`) at levels 2 and 3.
     pub fn max_batch(&self, configured: usize) -> usize {
         match self.level() {
-            OverloadLevel::Normal => configured,
+            OverloadLevel::Normal | OverloadLevel::UpdateBackpressure => configured,
             OverloadLevel::ReducedBatch | OverloadLevel::CacheOnly => {
                 (configured / 2).max(self.cfg.min_batch).max(1)
             }
         }
     }
 
-    /// `(entered_reduced_batch, entered_cache_only, recovered_from_reduced_batch,
+    /// Whether live parameter update application should pause right now.
+    /// True at every rung from [`OverloadLevel::UpdateBackpressure`] up —
+    /// once the queue is deep enough to shed *any* capacity, background
+    /// delta application is the first thing to go and the last to return.
+    pub fn updates_throttled(&self) -> bool {
+        self.level() >= OverloadLevel::UpdateBackpressure
+    }
+
+    /// `(entered_update_backpressure, entered_reduced_batch, entered_cache_only,
+    /// recovered_from_update_backpressure, recovered_from_reduced_batch,
     /// recovered_from_cache_only)` transition counts.
-    pub fn transition_counts(&self) -> (u64, u64, u64, u64) {
+    pub fn transition_counts(&self) -> (u64, u64, u64, u64, u64, u64) {
         (
             self.steps_up[0].load(Ordering::Relaxed),
             self.steps_up[1].load(Ordering::Relaxed),
+            self.steps_up[2].load(Ordering::Relaxed),
             self.steps_down[0].load(Ordering::Relaxed),
             self.steps_down[1].load(Ordering::Relaxed),
+            self.steps_down[2].load(Ordering::Relaxed),
         )
     }
 }
@@ -255,13 +289,14 @@ mod tests {
         // Above the exit threshold (0.8 * 0.5 = 0.4): stay degraded.
         l.observe(45);
         assert_eq!(l.level(), OverloadLevel::CacheOnly);
-        // Below 0.4: step down one rung...
+        // Below 0.4: step down one rung. 0.3 still holds ReducedBatch
+        // (its exit is 0.5 * 0.5 = 0.25).
         l.observe(30);
         assert_eq!(l.level(), OverloadLevel::ReducedBatch);
-        // ...and below 0.5 * 0.5 = 0.25 all the way back to normal.
+        // ...and below every exit threshold, all the way back to normal.
         l.observe(10);
         assert_eq!(l.level(), OverloadLevel::Normal);
-        assert_eq!(l.transition_counts(), (1, 1, 1, 1));
+        assert_eq!(l.transition_counts(), (1, 1, 1, 1, 1, 1));
     }
 
     #[test]
@@ -269,15 +304,19 @@ mod tests {
         let l = ladder(10);
         l.observe(9);
         assert_eq!(l.level(), OverloadLevel::CacheOnly);
-        assert_eq!(l.transition_counts(), (1, 1, 0, 0));
+        assert_eq!(l.transition_counts(), (1, 1, 1, 0, 0, 0));
     }
 
     #[test]
     fn transitions_fire_exactly_at_threshold() {
-        // Thresholds are inclusive: fraction >= reduce_batch_at enters.
+        // Thresholds are inclusive: fraction >= update_backpressure_at enters.
         let l = ladder(100);
-        l.observe(49);
+        l.observe(29);
         assert_eq!(l.level(), OverloadLevel::Normal);
+        l.observe(30); // exactly 0.3
+        assert_eq!(l.level(), OverloadLevel::UpdateBackpressure);
+        l.observe(49);
+        assert_eq!(l.level(), OverloadLevel::UpdateBackpressure);
         l.observe(50); // exactly 0.5
         assert_eq!(l.level(), OverloadLevel::ReducedBatch);
         l.observe(79);
@@ -304,7 +343,7 @@ mod tests {
             l.observe(depth);
             assert_eq!(l.level(), OverloadLevel::ReducedBatch, "depth {depth}");
         }
-        assert_eq!(l.transition_counts(), (1, 0, 0, 0));
+        assert_eq!(l.transition_counts(), (1, 1, 0, 0, 0, 0));
     }
 
     #[test]
@@ -312,17 +351,47 @@ mod tests {
         let l = ladder(100);
         l.observe(90);
         assert_eq!(l.level(), OverloadLevel::CacheOnly);
-        // An empty queue still walks CacheOnly→ReducedBatch→Normal: both
-        // rungs are traversed (counted), never skipped, even in one
-        // observation.
+        // An empty queue still walks CacheOnly→ReducedBatch→
+        // UpdateBackpressure→Normal: every rung is traversed (counted),
+        // never skipped, even in one observation.
         l.observe(0);
         assert_eq!(l.level(), OverloadLevel::Normal);
-        let (up_rb, up_co, down_rb, down_co) = l.transition_counts();
-        assert_eq!((up_rb, up_co), (1, 1));
+        let (up_ub, up_rb, up_co, down_ub, down_rb, down_co) = l.transition_counts();
+        assert_eq!((up_ub, up_rb, up_co), (1, 1, 1));
         assert_eq!(
-            (down_rb, down_co),
-            (1, 1),
-            "recovery must pass through ReducedBatch, not jump to Normal"
+            (down_ub, down_rb, down_co),
+            (1, 1, 1),
+            "recovery must pass through every rung, not jump to Normal"
+        );
+    }
+
+    #[test]
+    fn update_backpressure_throttles_updates_but_never_reads() {
+        let l = ladder(10);
+        assert!(!l.updates_throttled());
+        l.observe(3); // exactly 0.3: first rung
+        assert_eq!(l.level(), OverloadLevel::UpdateBackpressure);
+        assert!(l.updates_throttled());
+        // The read path is untouched at this rung: full batches.
+        assert_eq!(l.max_batch(16), 16);
+        // 0.2 is above the exit threshold (0.3 * 0.5 = 0.15): hold.
+        l.observe(2);
+        assert_eq!(l.level(), OverloadLevel::UpdateBackpressure);
+        // Below 0.15: recover, updates flow again.
+        l.observe(1);
+        assert_eq!(l.level(), OverloadLevel::Normal);
+        assert!(!l.updates_throttled());
+        assert_eq!(l.transition_counts(), (1, 0, 0, 1, 0, 0));
+    }
+
+    #[test]
+    fn deeper_rungs_also_throttle_updates() {
+        let l = ladder(10);
+        l.observe(9);
+        assert_eq!(l.level(), OverloadLevel::CacheOnly);
+        assert!(
+            l.updates_throttled(),
+            "updates shed first, so they stay shed at every deeper rung"
         );
     }
 
@@ -354,6 +423,7 @@ mod tests {
         let l = ladder(10);
         assert_eq!(l.max_batch(16), 16);
         l.observe(6);
+        assert_eq!(l.level(), OverloadLevel::ReducedBatch);
         assert_eq!(l.max_batch(16), 8);
         assert_eq!(l.max_batch(1), 1);
     }

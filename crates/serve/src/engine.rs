@@ -14,6 +14,24 @@ use drec_store::EmbeddingStore;
 
 use crate::error::{Result, ServeError};
 use crate::request::{coalesce_inputs, split_outputs, Request};
+use crate::update::ModelUpdateChannel;
+
+/// Per-engine live-update state: the channel, this engine's reader slot
+/// in it, and the weight version currently installed in the model.
+#[derive(Debug)]
+struct UpdateState {
+    channel: Arc<ModelUpdateChannel>,
+    reader: usize,
+    weight_version: u64,
+}
+
+impl Drop for UpdateState {
+    fn drop(&mut self) {
+        // A dying engine (worker panic → supervisor replacement) must
+        // not pin the channel's min-installed version forever.
+        self.channel.retire_reader(self.reader);
+    }
+}
 
 /// Timings and outputs from one executed batch.
 #[derive(Debug)]
@@ -36,6 +54,7 @@ pub struct Engine {
     pool: Arc<ParPool>,
     store: Option<Arc<EmbeddingStore>>,
     faults: FaultHook,
+    update: Option<UpdateState>,
 }
 
 impl Engine {
@@ -74,7 +93,52 @@ impl Engine {
             pool,
             store,
             faults: FaultHook::disabled(),
+            update: None,
         }
+    }
+
+    /// Subscribes this engine to a live-update channel: it registers as
+    /// a weight reader, offers its current FC weights as the channel's
+    /// restore baseline, and from the next batch on polls the mailbox at
+    /// batch boundaries (so weight swaps land between batches, never
+    /// mid-inference) and reports per-batch staleness.
+    pub fn set_update_channel(&mut self, channel: Arc<ModelUpdateChannel>) {
+        let reader = channel.register_reader();
+        channel.offer_baseline(|| self.model.capture_fc_weights());
+        self.update = Some(UpdateState {
+            channel,
+            reader,
+            weight_version: 0,
+        });
+    }
+
+    /// The live-update channel this engine polls, if subscribed.
+    pub fn update_channel(&self) -> Option<&Arc<ModelUpdateChannel>> {
+        self.update.as_ref().map(|u| &u.channel)
+    }
+
+    /// The weight version currently installed in this engine's model.
+    pub fn weight_version(&self) -> u64 {
+        self.update.as_ref().map_or(0, |u| u.weight_version)
+    }
+
+    /// Polls the update mailbox and installs a newer weight set if one
+    /// is posted. Runs at batch boundaries.
+    fn poll_updates(&mut self) -> Result<()> {
+        let state = match &mut self.update {
+            Some(s) => s,
+            None => return Ok(()),
+        };
+        if let Some(ws) = state.channel.poll_weights(state.weight_version) {
+            self.model
+                .install_fc_weights(&ws.layers)
+                .map_err(|e| ServeError::WorkerFailed {
+                    reason: format!("weight-set install for v{}: {e}", ws.version),
+                })?;
+            state.weight_version = ws.version;
+            state.channel.note_install(state.reader, ws.version);
+        }
+        Ok(())
     }
 
     /// Installs a fault-injection hook on this engine's batch path.
@@ -139,6 +203,19 @@ impl Engine {
     /// recovery path.
     pub fn run_batch(&mut self, requests: &[Request]) -> Result<BatchExecution> {
         let batch = requests.len();
+        self.poll_updates()?;
+        // Pin the store's reclamation epoch for the whole batch: one
+        // fetch_add per batch (not per row) keeps the read-path overhead
+        // inside the perf gate, and guarantees no row this batch reads
+        // is retired out from under it by a concurrent update publish.
+        let _epoch = self.store.as_ref().map(|s| s.pin_epoch());
+        // The embedding snapshot this batch serves from: captured before
+        // execution so a publish landing mid-batch counts as staleness 1
+        // (the allowed bound), never more.
+        let embed_version = match (&self.update, &self.store) {
+            (Some(state), Some(store)) => Some(store.namespace_version(state.channel.namespace())),
+            _ => None,
+        };
         let mut inputs = coalesce_inputs(self.model.spec(), requests);
         match self.faults.on_batch() {
             BatchFault::None => {}
@@ -160,6 +237,14 @@ impl Engine {
             }
         })?;
         let wall_seconds = start.elapsed().as_secs_f64();
+        if let Some(state) = &self.update {
+            let served = match embed_version {
+                Some(v) if state.channel.baseline().is_some() => v.min(state.weight_version),
+                Some(v) => v,
+                None => state.weight_version,
+            };
+            state.channel.record_staleness(served);
+        }
         Ok(BatchExecution {
             per_request_outputs: split_outputs(&outputs, batch),
             wall_seconds,

@@ -47,6 +47,19 @@ pub enum ServeError {
     /// The response channel was dropped without a reply (a worker panic
     /// or a runtime torn down without drain).
     Disconnected,
+    /// A live parameter update could not be applied and was not
+    /// recoverable by the updater's retry policy (an unexpected store
+    /// rejection, or a rollback that failed to recover). The serving
+    /// path is unaffected — reads continue on the last published
+    /// version.
+    UpdateFailed {
+        /// The update channel (model) being rolled.
+        channel: String,
+        /// The snapshot version the failed batch targeted.
+        target_version: u64,
+        /// The underlying store error, rendered.
+        reason: String,
+    },
     /// A multi-model scheduler found every backend for this model
     /// saturated: the CPU queue is over budget *and* the accelerator
     /// dispatch path (when configured) cannot absorb the overflow. The
@@ -93,6 +106,14 @@ impl fmt::Display for ServeError {
                 write!(f, "failed to spawn worker thread: {reason}")
             }
             ServeError::Disconnected => write!(f, "response channel disconnected"),
+            ServeError::UpdateFailed {
+                channel,
+                target_version,
+                reason,
+            } => write!(
+                f,
+                "live update for {channel} to v{target_version} failed: {reason}"
+            ),
             ServeError::NoBackendAvailable {
                 model,
                 cpu_depth,

@@ -47,6 +47,7 @@ mod metrics;
 mod prefetch;
 mod request;
 mod runtime;
+mod update;
 
 pub use batcher::{BatchPoll, BatcherConfig, DispatchSignal, QueueKind, SharedQueue, TakenBatch};
 pub use degrade::{DegradeConfig, OverloadLadder, OverloadLevel};
@@ -61,11 +62,15 @@ pub use request::{
     SubmitOptions,
 };
 pub use runtime::{PendingResponse, ServeConfig, ServeHandle, ServeRuntime, SupervisorConfig};
+pub use update::{ModelUpdateChannel, UpdatePlan, Updater, UpdaterStats, WeightSet};
 
 // Re-exported so serving callers can configure the shared parameter store
 // without depending on `drec-store` directly.
-pub use drec_store::{CachePolicy, EmbeddingStore, RowEncoding, StoreConfig, StoreStats};
+pub use drec_store::{
+    CachePolicy, EmbeddingStore, RowDelta, RowEncoding, StoreConfig, StoreError, StoreStats,
+    UpdateBatch, UpdateReport,
+};
 
 // Re-exported so chaos harnesses can build fault plans without depending
 // on `drec-faultsim` directly.
-pub use drec_faultsim::{FaultCounts, FaultHook, FaultPlan};
+pub use drec_faultsim::{FaultCounts, FaultHook, FaultPlan, UpdateFault};

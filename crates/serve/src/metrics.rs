@@ -452,15 +452,17 @@ impl MetricsRegistry {
             .sum();
         let pool_delta = self.pool.stats().since(&self.pool_baseline);
         let (
+            entered_update_backpressure,
             entered_reduced_batch,
             entered_cache_only,
+            recovered_update_backpressure,
             recovered_reduced_batch,
             recovered_cache_only,
         ) = self
             .ladder
             .as_ref()
             .map(|l| l.transition_counts())
-            .unwrap_or((0, 0, 0, 0));
+            .unwrap_or((0, 0, 0, 0, 0, 0));
         MetricsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
@@ -476,8 +478,10 @@ impl MetricsRegistry {
                 .ladder
                 .as_ref()
                 .map_or(OverloadLevel::Normal, |l| l.level()),
+            entered_update_backpressure,
             entered_reduced_batch,
             entered_cache_only,
+            recovered_update_backpressure,
             recovered_reduced_batch,
             recovered_cache_only,
             batches,
@@ -536,10 +540,14 @@ pub struct MetricsSnapshot {
     pub panic_reasons: Vec<String>,
     /// Current rung of the overload ladder.
     pub overload_level: OverloadLevel,
+    /// Ladder transitions into update-backpressure mode.
+    pub entered_update_backpressure: u64,
     /// Ladder transitions into reduced-batch mode.
     pub entered_reduced_batch: u64,
     /// Ladder transitions into cache-only mode.
     pub entered_cache_only: u64,
+    /// Ladder recoveries out of update-backpressure mode.
+    pub recovered_update_backpressure: u64,
     /// Ladder recoveries out of reduced-batch mode.
     pub recovered_reduced_batch: u64,
     /// Ladder recoveries out of cache-only mode.

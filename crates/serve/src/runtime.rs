@@ -139,6 +139,7 @@ struct EngineFactory {
     pool: Arc<ParPool>,
     store: Option<Arc<EmbeddingStore>>,
     faults: FaultHook,
+    update: Arc<crate::update::ModelUpdateChannel>,
 }
 
 impl EngineFactory {
@@ -159,6 +160,7 @@ impl EngineFactory {
             self.store.clone(),
         );
         engine.set_fault_hook(self.faults.clone());
+        engine.set_update_channel(Arc::clone(&self.update));
         Ok(engine)
     }
 }
@@ -211,6 +213,7 @@ pub struct ServeRuntime {
     spec: Arc<InputSpec>,
     supervisor: Option<JoinHandle<()>>,
     prefetcher: Option<Arc<Prefetcher>>,
+    update_channel: Arc<crate::update::ModelUpdateChannel>,
 }
 
 impl ServeRuntime {
@@ -266,6 +269,16 @@ impl ServeRuntime {
         );
         let metrics = Arc::new(registry);
 
+        // One live-update channel per served model: every worker engine
+        // registers as a weight reader; the updater (if the deployment
+        // runs one) respects this ladder's backpressure rung.
+        let update_channel = Arc::new(crate::update::ModelUpdateChannel::new(
+            cfg.model.name(),
+            drec_models::store_namespace(cfg.model, cfg.scale, cfg.seed),
+            store.clone(),
+        ));
+        update_channel.set_ladder(Arc::clone(&ladder));
+
         let factory = EngineFactory {
             model: cfg.model,
             scale: cfg.scale,
@@ -274,6 +287,7 @@ impl ServeRuntime {
             pool,
             store,
             faults,
+            update: Arc::clone(&update_channel),
         };
 
         let (exit_tx, exit_rx) = mpsc::channel();
@@ -320,7 +334,15 @@ impl ServeRuntime {
             spec,
             supervisor: Some(supervisor),
             prefetcher,
+            update_channel,
         })
+    }
+
+    /// The model's live-update channel — hand it to an
+    /// [`crate::Updater`] (on its own thread) to stream versioned
+    /// parameter updates through the running workers.
+    pub fn update_channel(&self) -> &Arc<crate::update::ModelUpdateChannel> {
+        &self.update_channel
     }
 
     /// A cloneable submission handle.

@@ -154,6 +154,7 @@ fn overload_ladder_transitions_are_recorded_and_recovered() {
     // reliably crosses both even while the worker drains concurrently.
     cfg.max_wait = Duration::from_millis(300);
     cfg.degrade = drec_serve::DegradeConfig {
+        update_backpressure_at: 0.05,
         reduce_batch_at: 0.1,
         cache_only_at: 0.2,
         exit_hysteresis: 0.5,

@@ -180,7 +180,7 @@ fn overload_ladder_transitions_exactly_once_under_contention() {
         assert_eq!(ladder.level(), OverloadLevel::Normal);
         assert_eq!(
             ladder.transition_counts(),
-            (1, 1, 1, 1),
+            (1, 1, 1, 1, 1, 1),
             "each rung must be crossed exactly once in each direction"
         );
     });
@@ -217,4 +217,126 @@ fn dispatch_signal_parking_never_strands_the_dispatcher() {
             assert_eq!(batch.requests[0].id, 0);
         });
     }
+}
+
+/// The prefetch-fill/row-update race from `drec-store`/`drec-tier`,
+/// modelled on loom-aware primitives (the tier's own clock lock is a
+/// std mutex, which loom cannot preempt inside): a filler captures the
+/// table's write stamp, reads the row, and inserts residency only if
+/// the stamp is unchanged *under the residency lock*; the updater
+/// rewrites the row, bumps the stamp, and then invalidates under the
+/// same lock. In every interleaving the end state must be either
+/// not-resident or resident-with-post-update bytes — a stale
+/// pre-update fill can never survive, which is exactly the
+/// `prefetch_fill_if` verify contract.
+///
+/// The write-then-bump order in the updater is load-bearing, and this
+/// model is what caught it: bumping *before* the rewrite (the obvious
+/// "stamp first so fills abort" order) lets a filler capture the
+/// post-bump stamp, read the pre-update bytes, pass its verify, and
+/// insert after the updater's invalidation has already run — parking
+/// stale bytes forever. Flipping the first two updater steps below
+/// reproduces the failure.
+#[test]
+fn prefetch_fill_verify_never_parks_stale_bytes() {
+    use drec_sync::atomic::{AtomicU64, Ordering};
+    use drec_sync::Mutex;
+    model(|| {
+        let stamp = Arc::new(AtomicU64::new(0)); // table.write_stamp
+        let row = Arc::new(AtomicU64::new(1)); // the row's bytes (v0)
+        let resident: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+
+        let filler = {
+            let (stamp, row, resident) =
+                (Arc::clone(&stamp), Arc::clone(&row), Arc::clone(&resident));
+            spawn(move || {
+                // store::prefetch_row: capture the stamp, then fill.
+                let captured = stamp.load(Ordering::Acquire);
+                let bytes = row.load(Ordering::Acquire);
+                // tier::prefetch_fill_if: verify runs under the
+                // residency lock, immediately before the insert.
+                let mut slot = resident.lock();
+                if stamp.load(Ordering::Acquire) == captured {
+                    *slot = Some(bytes);
+                }
+            })
+        };
+        let updater = {
+            let (stamp, row, resident) =
+                (Arc::clone(&stamp), Arc::clone(&row), Arc::clone(&resident));
+            spawn(move || {
+                // store::write_row: rewrite, THEN bump the stamp...
+                row.store(2, Ordering::Release);
+                stamp.fetch_add(1, Ordering::Release);
+                // ...then invalidate under the same residency lock.
+                *resident.lock() = None;
+            })
+        };
+        filler.join().unwrap();
+        updater.join().unwrap();
+        let end_state = *resident.lock();
+        if let Some(bytes) = end_state {
+            assert_eq!(
+                bytes, 2,
+                "a resident row must carry post-update bytes — the stale \
+                 pre-update fill survived the verify"
+            );
+        }
+    });
+}
+
+/// Weight mailbox under contention: a poster publishing versions 1 and
+/// 2 races two polling readers. Newest-wins must hold (no reader
+/// installs an older set after a newer one), and once both readers have
+/// drained the mailbox the channel's min-installed version is exactly
+/// the newest posted.
+#[test]
+fn update_mailbox_is_newest_wins_under_contention() {
+    use drec_serve::{ModelUpdateChannel, WeightSet};
+    model(|| {
+        let channel = Arc::new(ModelUpdateChannel::new("m", 1, None));
+        let readers: Vec<usize> = (0..2).map(|_| channel.register_reader()).collect();
+        let poster = {
+            let channel = Arc::clone(&channel);
+            spawn(move || {
+                for version in 1..=2 {
+                    channel.post_weights(Arc::new(WeightSet {
+                        version,
+                        layers: Vec::new(),
+                    }));
+                    channel.publish_version(version);
+                }
+            })
+        };
+        let pollers: Vec<_> = readers
+            .iter()
+            .map(|&reader| {
+                let channel = Arc::clone(&channel);
+                spawn(move || {
+                    let mut installed = 0;
+                    for _ in 0..2 {
+                        if let Some(ws) = channel.poll_weights(installed) {
+                            assert!(ws.version > installed, "mailbox went backwards");
+                            installed = ws.version;
+                            channel.note_install(reader, installed);
+                        }
+                        yield_now();
+                    }
+                })
+            })
+            .collect();
+        poster.join().unwrap();
+        for p in pollers {
+            p.join().unwrap();
+        }
+        // Quiesce: one final poll per reader drains whatever the races
+        // left behind.
+        for &reader in &readers {
+            if let Some(ws) = channel.poll_weights(0) {
+                channel.note_install(reader, ws.version);
+            }
+        }
+        assert_eq!(channel.current_version(), 2);
+        assert_eq!(channel.min_installed(), 2);
+    });
 }

@@ -29,6 +29,14 @@
 //!   [`PinnedTable::sum_row_pair`] serves frequently co-occurring row
 //!   pairs from a table-combining cache with one lookup instead of two.
 //!
+//! * **Versioned live updates** ([`EmbeddingStore::apply_update`]) —
+//!   batches of row deltas ([`UpdateBatch`]) apply atomically and
+//!   publish a per-table snapshot version; readers pin an epoch
+//!   ([`EmbeddingStore::pin_epoch`]) per coalesced batch and the writer
+//!   waits them out before retiring superseded rows, so the read hot
+//!   path stays lock-free while updates stay crash-atomic (DESIGN.md
+//!   §14).
+//!
 //! Determinism guarantees: decoding is a pure function of the stored
 //! bytes, and cached rows are exactly the decoded rows — so cache state
 //! (including evictions and cross-worker races), tier residency,
@@ -41,6 +49,10 @@ mod encoding;
 mod store;
 
 pub use cache::{CachePolicy, HotRowCache};
+pub use drec_faultsim::UpdateFault;
 pub use drec_tier::{ColdReadModel, CombineConfig, Pacing, TierConfig, TierStats};
 pub use encoding::{f16_bits_to_f32, f32_to_f16_bits, quantize_row, RowEncoding};
-pub use store::{EmbeddingStore, PinnedTable, StoreConfig, StoreError, StoreStats, TableHandle};
+pub use store::{
+    EmbeddingStore, PinnedTable, RowDelta, StoreConfig, StoreError, StoreStats, TableHandle,
+    UpdateBatch, UpdateReport,
+};

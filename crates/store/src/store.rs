@@ -4,9 +4,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use drec_faultsim::{FaultHook, ReadFault};
+use drec_faultsim::{FaultHook, ReadFault, UpdateFault};
 use drec_sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use drec_sync::{CachePadded, Mutex, RwLock};
+use drec_sync::{CachePadded, EpochGc, EpochGuard, Mutex, RwLock};
 use drec_tensor::simd::KernelPath;
 use drec_tier::{CombineCache, TierConfig, TierEngine};
 
@@ -82,6 +82,46 @@ pub enum StoreError {
         /// Table row count.
         rows: usize,
     },
+    /// A [`TableHandle`] that does not name a registered table (stale or
+    /// fabricated).
+    UnknownTable {
+        /// The offending handle's slot.
+        handle: usize,
+        /// Tables currently registered.
+        tables: usize,
+    },
+    /// An update (or lookup) referenced a `(namespace, ordinal)` pair
+    /// with no registered table.
+    TableNotRegistered {
+        /// Requested namespace.
+        namespace: u64,
+        /// Requested ordinal.
+        ordinal: u32,
+    },
+    /// An update batch's target version is not `current + 1`: a replayed
+    /// (duplicate) batch when `target <= current`, a gap otherwise.
+    /// Either way the batch is rejected whole; the published state is
+    /// untouched.
+    VersionConflict {
+        /// Update namespace.
+        namespace: u64,
+        /// Version currently published for the namespace.
+        current: u64,
+        /// Version the rejected batch targeted.
+        target: u64,
+    },
+    /// An injected crash fired mid-batch: every row the batch had
+    /// already rewritten was rolled back to its pre-batch value and the
+    /// namespace version was left unchanged — the failed update is
+    /// invisible.
+    UpdateAborted {
+        /// Update namespace.
+        namespace: u64,
+        /// Version the aborted batch targeted.
+        target: u64,
+        /// Rows that had been applied and were rolled back.
+        rows_rolled_back: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -107,11 +147,71 @@ impl std::fmt::Display for StoreError {
             StoreError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range for table of {rows} rows")
             }
+            StoreError::UnknownTable { handle, tables } => {
+                write!(f, "handle {handle} does not name one of {tables} tables")
+            }
+            StoreError::TableNotRegistered { namespace, ordinal } => {
+                write!(f, "no table registered for ({namespace:#x}, {ordinal})")
+            }
+            StoreError::VersionConflict {
+                namespace,
+                current,
+                target,
+            } => write!(
+                f,
+                "update for namespace {namespace:#x} targets v{target} but \
+                 v{current} is published (want v{})",
+                current + 1
+            ),
+            StoreError::UpdateAborted {
+                namespace,
+                target,
+                rows_rolled_back,
+            } => write!(
+                f,
+                "update to v{target} for namespace {namespace:#x} aborted; \
+                 {rows_rolled_back} rows rolled back"
+            ),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+/// One row rewrite inside an [`UpdateBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDelta {
+    /// Table ordinal within the batch's namespace.
+    pub ordinal: u32,
+    /// Row to rewrite.
+    pub row: u32,
+    /// New row values (length must equal the table's `dim`).
+    pub values: Vec<f32>,
+}
+
+/// A versioned batch of row rewrites for one namespace. Batches apply
+/// atomically: either every delta lands and the namespace version
+/// advances to `target_version`, or (on validation failure, version
+/// conflict, or injected crash) nothing is visible afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateBatch {
+    /// Namespace whose tables the deltas target.
+    pub namespace: u64,
+    /// Version this batch publishes; must be exactly one past the
+    /// namespace's current version.
+    pub target_version: u64,
+    /// The row rewrites.
+    pub deltas: Vec<RowDelta>,
+}
+
+/// What [`EmbeddingStore::apply_update`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Rows rewritten by the batch.
+    pub rows_applied: usize,
+    /// The version now published for the namespace.
+    pub published_version: u64,
+}
 
 /// Opaque handle to a registered table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,6 +225,14 @@ struct StoredTable {
     dim: usize,
     rows_per_shard: usize,
     shards: Vec<RwLock<RowData>>,
+    /// Snapshot version last published for this table (batches advance
+    /// it; a freshly registered table is v0).
+    version: AtomicU64,
+    /// Bumped on every row write, *before* the shard lock is taken. The
+    /// prefetcher captures it when a fill starts and re-verifies under
+    /// the residency lock, so a fill racing an update can never park
+    /// pre-update state as resident (see `PinnedTable::prefetch_row`).
+    write_stamp: AtomicU64,
 }
 
 impl StoredTable {
@@ -155,6 +263,8 @@ impl StoredTable {
             dim,
             rows_per_shard,
             shards,
+            version: AtomicU64::new(0),
+            write_stamp: AtomicU64::new(0),
         }
     }
 
@@ -175,8 +285,21 @@ impl StoredTable {
     }
 
     fn write_row(&self, row: u32, values: &[f32]) {
+        // Write first, stamp after. The order matters: a prefetch fill
+        // captures the stamp, reads the row, and re-verifies the stamp
+        // under the residency lock. Bumping *before* the write would let
+        // a fill capture the post-bump stamp, read the pre-update bytes,
+        // and pass its verify — parking stale state that the caller's
+        // subsequent invalidation cannot reach if it runs before the
+        // fill's insert (an interleaving the loom model
+        // `prefetch_fill_verify_never_parks_stale_bytes` exhibits).
+        // Write-then-bump closes it: a fill that read stale bytes either
+        // sees the bump at verify time and aborts, or verified before
+        // the bump — in which case the caller's invalidation (ordered
+        // after this bump, under the same residency lock) removes it.
         let (s, r) = self.locate(row);
         self.shards[s].write().write_row(r, self.dim, values);
+        self.write_stamp.fetch_add(1, Ordering::Release);
     }
 
     fn resident_bytes(&self) -> u64 {
@@ -217,6 +340,23 @@ pub struct EmbeddingStore {
     /// Lookups the combining cache saved: each combined hit served a
     /// pair of rows with one lookup instead of two.
     combined_lookups_saved: AtomicU64,
+    /// Epoch cell the live-update protocol pins readers with. Readers
+    /// pin once per coalesced batch; `apply_update` synchronizes against
+    /// it before retiring superseded rows (DESIGN.md §14).
+    epoch: EpochGc,
+    /// Update batches applied and published.
+    update_batches_applied: AtomicU64,
+    /// Rows rewritten by applied update batches.
+    update_rows_applied: AtomicU64,
+    /// Superseded rows retired (cache/tier/combine re-invalidated after
+    /// the post-publish synchronize).
+    update_rows_retired: AtomicU64,
+    /// Update batches rolled back whole after an injected crash.
+    update_rollbacks: AtomicU64,
+    /// Duplicate (already-published) update batches rejected.
+    update_duplicates_rejected: AtomicU64,
+    /// Injected publish delays honored inside `apply_update`.
+    update_publish_delays: AtomicU64,
 }
 
 impl EmbeddingStore {
@@ -253,6 +393,13 @@ impl EmbeddingStore {
             tier,
             combine,
             combined_lookups_saved: AtomicU64::new(0),
+            epoch: EpochGc::new(),
+            update_batches_applied: AtomicU64::new(0),
+            update_rows_applied: AtomicU64::new(0),
+            update_rows_retired: AtomicU64::new(0),
+            update_rollbacks: AtomicU64::new(0),
+            update_duplicates_rejected: AtomicU64::new(0),
+            update_publish_delays: AtomicU64::new(0),
         }
     }
 
@@ -342,13 +489,265 @@ impl EmbeddingStore {
 
     /// A cheap, cloneable accessor pinning `handle`'s table so lookups
     /// skip the registry lock entirely.
+    ///
+    /// # Panics
+    ///
+    /// On a handle that does not name a registered table. Fallible
+    /// callers (anything fed externally supplied handles) use
+    /// [`EmbeddingStore::try_pin`] instead.
     pub fn pin(self: &Arc<Self>, handle: TableHandle) -> PinnedTable {
-        let table = Arc::clone(&self.tables.read()[handle.0]);
-        PinnedTable {
+        self.try_pin(handle).unwrap_or_else(|e| panic!("pin: {e}"))
+    }
+
+    /// Fallible [`EmbeddingStore::pin`]: a typed
+    /// [`StoreError::UnknownTable`] instead of a panic when `handle`
+    /// does not name a registered table.
+    pub fn try_pin(self: &Arc<Self>, handle: TableHandle) -> Result<PinnedTable, StoreError> {
+        let tables = self.tables.read();
+        let table = tables
+            .get(handle.0)
+            .cloned()
+            .ok_or(StoreError::UnknownTable {
+                handle: handle.0,
+                tables: tables.len(),
+            })?;
+        drop(tables);
+        Ok(PinnedTable {
             store: Arc::clone(self),
             table,
             handle,
+        })
+    }
+
+    /// Resolves a `(namespace, ordinal)` pair to its handle, or a typed
+    /// [`StoreError::TableNotRegistered`].
+    pub fn lookup(&self, namespace: u64, ordinal: u32) -> Result<TableHandle, StoreError> {
+        self.index
+            .lock()
+            .get(&(namespace, ordinal))
+            .map(|&slot| TableHandle(slot))
+            .ok_or(StoreError::TableNotRegistered { namespace, ordinal })
+    }
+
+    /// Pins the calling thread into the current update epoch. Readers
+    /// (the serving engines) hold the guard across one coalesced batch;
+    /// [`EmbeddingStore::apply_update`] waits out every pinned reader
+    /// before retiring superseded rows. Never blocks.
+    ///
+    /// A thread must **not** call `apply_update` while holding its own
+    /// epoch guard — the retire step would wait for the caller itself.
+    pub fn pin_epoch(&self) -> EpochGuard<'_> {
+        self.epoch.pin()
+    }
+
+    /// The snapshot version currently published for `namespace`: the
+    /// minimum across its tables (batches publish all of them together,
+    /// so the minimum only lags mid-publish). 0 for an unknown or empty
+    /// namespace — freshly registered tables start at v0.
+    pub fn namespace_version(&self, namespace: u64) -> u64 {
+        let slots: Vec<usize> = {
+            let index = self.index.lock();
+            index
+                .iter()
+                .filter(|((ns, _), _)| *ns == namespace)
+                .map(|(_, &slot)| slot)
+                .collect()
+        };
+        let tables = self.tables.read();
+        slots
+            .iter()
+            .map(|&s| tables[s].version.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Enumerates the tables registered under `namespace` as
+    /// `(ordinal, rows, dim)` triples, sorted by ordinal — how a live
+    /// updater discovers what it can rewrite without holding a model's
+    /// binding list.
+    pub fn namespace_tables(&self, namespace: u64) -> Vec<(u32, usize, usize)> {
+        let slots: Vec<(u32, usize)> = {
+            let index = self.index.lock();
+            index
+                .iter()
+                .filter(|((ns, _), _)| *ns == namespace)
+                .map(|((_, ordinal), &slot)| (*ordinal, slot))
+                .collect()
+        };
+        let tables = self.tables.read();
+        let mut out: Vec<(u32, usize, usize)> = slots
+            .into_iter()
+            .map(|(ordinal, slot)| (ordinal, tables[slot].rows, tables[slot].dim))
+            .collect();
+        out.sort_unstable_by_key(|&(ordinal, _, _)| ordinal);
+        out
+    }
+
+    /// Drops every cached or resident trace of `key`: the hot-row cache
+    /// entry, any combined pair touching the key, and the DRAM tier
+    /// residency (CLOCK slot + pending prefetch intent).
+    fn invalidate_row(&self, key: u64) {
+        self.cache.invalidate(key);
+        if let Some(combine) = &self.combine {
+            combine.invalidate_key(key);
         }
+        if let Some(tier) = &self.tier {
+            tier.invalidate(key);
+        }
+    }
+
+    /// Applies one versioned [`UpdateBatch`] atomically and publishes
+    /// its version (DESIGN.md §14). The protocol, in order:
+    ///
+    /// 1. **Validate everything up front** — unknown tables, row ranges,
+    ///    dims, and the version (`target_version` must be exactly one
+    ///    past [`EmbeddingStore::namespace_version`]) are all checked
+    ///    before any row is touched, so a malformed batch is rejected
+    ///    with a typed error and zero visible effect.
+    /// 2. **Apply with an undo log** — each delta re-encodes its row
+    ///    under the shard write lock and invalidates the row's cached
+    ///    copies; the pre-update row is kept for rollback. An injected
+    ///    [`UpdateFault::CrashMidBatch`] fires halfway through and rolls
+    ///    every applied row back (restoring and re-invalidating), then
+    ///    returns [`StoreError::UpdateAborted`] — the failed batch is
+    ///    invisible and the version unchanged.
+    /// 3. **Publish** — every table in the namespace advances to
+    ///    `target_version` (an injected [`UpdateFault::DelayPublish`]
+    ///    stalls just before this step; readers keep serving the prior
+    ///    version meanwhile).
+    /// 4. **Retire** — one epoch `synchronize` waits out every reader
+    ///    pinned before the publish, then the batch's keys are
+    ///    invalidated a second time: a pre-publish reader may have
+    ///    re-inserted a row it decoded *before* step 2's invalidation,
+    ///    and that stale insert necessarily happened before its unpin,
+    ///    hence before this pass (the `loom_sync` epoch test checks
+    ///    exactly this ordering).
+    ///
+    /// `fault` is the injected update fault to honor (the updater
+    /// threads its [`drec_faultsim::FaultHook::on_update`] decision
+    /// through here); pass [`UpdateFault::None`] on the clean path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::TableNotRegistered`], [`StoreError::RowOutOfRange`],
+    /// [`StoreError::DataSizeMismatch`] (validation),
+    /// [`StoreError::VersionConflict`] (duplicate or gapped version), or
+    /// [`StoreError::UpdateAborted`] (injected crash, rolled back).
+    pub fn apply_update(
+        &self,
+        batch: &UpdateBatch,
+        fault: UpdateFault,
+    ) -> Result<UpdateReport, StoreError> {
+        // Step 1: resolve and validate every delta before touching rows.
+        let (resolved, ns_tables) = {
+            let index = self.index.lock();
+            let tables = self.tables.read();
+            let mut resolved = Vec::with_capacity(batch.deltas.len());
+            for delta in &batch.deltas {
+                let &slot = index.get(&(batch.namespace, delta.ordinal)).ok_or(
+                    StoreError::TableNotRegistered {
+                        namespace: batch.namespace,
+                        ordinal: delta.ordinal,
+                    },
+                )?;
+                let table = &tables[slot];
+                if (delta.row as usize) >= table.rows {
+                    return Err(StoreError::RowOutOfRange {
+                        row: delta.row,
+                        rows: table.rows,
+                    });
+                }
+                if delta.values.len() != table.dim {
+                    return Err(StoreError::DataSizeMismatch {
+                        expected: table.dim,
+                        actual: delta.values.len(),
+                    });
+                }
+                resolved.push((slot, Arc::clone(table), delta));
+            }
+            let ns_tables: Vec<Arc<StoredTable>> = index
+                .iter()
+                .filter(|((ns, _), _)| *ns == batch.namespace)
+                .map(|(_, &slot)| Arc::clone(&tables[slot]))
+                .collect();
+            (resolved, ns_tables)
+        };
+        if ns_tables.is_empty() {
+            return Err(StoreError::TableNotRegistered {
+                namespace: batch.namespace,
+                ordinal: 0,
+            });
+        }
+        let current = ns_tables
+            .iter()
+            .map(|t| t.version.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0);
+        if batch.target_version != current + 1 {
+            if batch.target_version <= current {
+                self.update_duplicates_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(StoreError::VersionConflict {
+                namespace: batch.namespace,
+                current,
+                target: batch.target_version,
+            });
+        }
+
+        // Step 2: apply under an undo log, crashing halfway if injected.
+        let crash_at = match fault {
+            UpdateFault::CrashMidBatch { .. } => Some(resolved.len() / 2),
+            _ => None,
+        };
+        let mut undo: Vec<(Arc<StoredTable>, u32, Vec<f32>, u64)> =
+            Vec::with_capacity(resolved.len());
+        for (i, (slot, table, delta)) in resolved.iter().enumerate() {
+            if crash_at == Some(i) {
+                for (table, row, old, key) in undo.drain(..).rev() {
+                    table.write_row(row, &old);
+                    self.invalidate_row(key);
+                }
+                self.update_rollbacks.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::UpdateAborted {
+                    namespace: batch.namespace,
+                    target: batch.target_version,
+                    rows_rolled_back: i,
+                });
+            }
+            let mut old = vec![0.0f32; table.dim];
+            table.read_into(delta.row, &mut old);
+            let key = ((*slot as u64) << 32) | u64::from(delta.row);
+            table.write_row(delta.row, &delta.values);
+            self.invalidate_row(key);
+            undo.push((Arc::clone(table), delta.row, old, key));
+        }
+
+        // Step 3: publish (optionally after an injected delay, during
+        // which readers keep serving the still-current prior version).
+        if let UpdateFault::DelayPublish(delay) = fault {
+            self.update_publish_delays.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(delay);
+        }
+        for table in &ns_tables {
+            table.version.store(batch.target_version, Ordering::Release);
+        }
+
+        // Step 4: retire — wait out pre-publish readers, then clear any
+        // stale state they re-cached while still pinned.
+        self.epoch.synchronize();
+        for (_, _, _, key) in &undo {
+            self.invalidate_row(*key);
+        }
+        self.update_rows_retired
+            .fetch_add(undo.len() as u64, Ordering::Relaxed);
+        self.update_batches_applied.fetch_add(1, Ordering::Relaxed);
+        self.update_rows_applied
+            .fetch_add(undo.len() as u64, Ordering::Relaxed);
+        Ok(UpdateReport {
+            rows_applied: undo.len(),
+            published_version: batch.target_version,
+        })
     }
 
     /// Point-in-time counters and gauges.
@@ -391,11 +790,21 @@ impl EmbeddingStore {
             prefetch_hits: tier.prefetch_hits,
             prefetch_late: tier.prefetch_late,
             prefetch_wasted: tier.prefetch_wasted,
+            prefetch_aborted_stale: tier.prefetch_aborted_stale,
+            tier_invalidations: tier.invalidations,
             combined_resident_pairs: combine.resident_pairs,
             combined_hits: combine.hits,
             combined_fills: combine.fills,
             combined_evictions: combine.evictions,
             combined_lookups_saved: self.combined_lookups_saved.load(Ordering::Relaxed),
+            update_batches_applied: self.update_batches_applied.load(Ordering::Relaxed),
+            update_rows_applied: self.update_rows_applied.load(Ordering::Relaxed),
+            update_rows_retired: self.update_rows_retired.load(Ordering::Relaxed),
+            update_rollbacks: self.update_rollbacks.load(Ordering::Relaxed),
+            update_duplicates_rejected: self.update_duplicates_rejected.load(Ordering::Relaxed),
+            update_publish_delays: self.update_publish_delays.load(Ordering::Relaxed),
+            update_synchronizations: self.epoch.synchronizations(),
+            pinned_readers: self.epoch.pinned_readers(),
         }
     }
 
@@ -481,6 +890,37 @@ impl PinnedTable {
     /// The store this table lives in.
     pub fn store(&self) -> &Arc<EmbeddingStore> {
         &self.store
+    }
+
+    /// The snapshot version currently published for this table (v0
+    /// until the first update batch lands).
+    pub fn version(&self) -> u64 {
+        self.table.version.load(Ordering::Acquire)
+    }
+
+    /// Copies row `row` straight from its shard into `dst`, bypassing
+    /// the hot-row cache, the tier model, fault injection, and every
+    /// counter — the quiet path the updater uses to capture pre-update
+    /// rows for its quiescence oracle.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RowOutOfRange`] or [`StoreError::DataSizeMismatch`].
+    pub fn read_row_raw(&self, row: u32, dst: &mut [f32]) -> Result<(), StoreError> {
+        if (row as usize) >= self.table.rows {
+            return Err(StoreError::RowOutOfRange {
+                row,
+                rows: self.table.rows,
+            });
+        }
+        if dst.len() != self.table.dim {
+            return Err(StoreError::DataSizeMismatch {
+                expected: self.table.dim,
+                actual: dst.len(),
+            });
+        }
+        self.table.read_into(row, dst);
+        Ok(())
     }
 
     /// Cache key for a row of this table.
@@ -626,7 +1066,18 @@ impl PinnedTable {
             return;
         }
         if let Some(tier) = &self.store.tier {
-            tier.prefetch_fill(self.key(row));
+            // Capture the table's write stamp before the fill and
+            // re-verify it under the residency lock: a row update that
+            // lands between capture and fill bumps the stamp first, so
+            // the fill aborts instead of parking the row's pre-update
+            // state as resident (and the update's own invalidation
+            // cannot race past an already-parked stale fill, because the
+            // verify and the invalidation serialize on the same lock).
+            let stamp = self.table.write_stamp.load(Ordering::Acquire);
+            let table = &self.table;
+            tier.prefetch_fill_if(self.key(row), || {
+                table.write_stamp.load(Ordering::Acquire) == stamp
+            });
         }
     }
 
@@ -691,8 +1142,10 @@ impl PinnedTable {
     }
 
     /// Re-encodes one row from `values` under the owning shard's write
-    /// lock and invalidates any cached copy (hot-row and combined), so
-    /// subsequent lookups see the new value.
+    /// lock and invalidates every cached or resident trace of it
+    /// (hot-row cache, combined pairs, and tier residency), so
+    /// subsequent lookups see the new value and re-earn residency from
+    /// it.
     ///
     /// # Errors
     ///
@@ -711,10 +1164,7 @@ impl PinnedTable {
             });
         }
         self.table.write_row(row, values);
-        self.store.cache.invalidate(self.key(row));
-        if let Some(combine) = &self.store.combine {
-            combine.invalidate_key(self.key(row));
-        }
+        self.store.invalidate_row(self.key(row));
         Ok(())
     }
 }
@@ -783,6 +1233,12 @@ pub struct StoreStats {
     pub prefetch_late: u64,
     /// Prefetched rows evicted before any demand use.
     pub prefetch_wasted: u64,
+    /// Prefetch fills aborted because the row was rewritten between the
+    /// fill's start and its residency insert — each abort is a stale
+    /// parking the update/prefetch race would otherwise have caused.
+    pub prefetch_aborted_stale: u64,
+    /// Tier residency invalidations from row updates.
+    pub tier_invalidations: u64,
     /// Combined row pairs currently cached (gauge).
     pub combined_resident_pairs: u64,
     /// Pair lookups served whole from the combining cache.
@@ -794,6 +1250,22 @@ pub struct StoreStats {
     /// Lookups saved by combining (one per combined hit: two rows, one
     /// lookup).
     pub combined_lookups_saved: u64,
+    /// Update batches applied and published ([`EmbeddingStore::apply_update`]).
+    pub update_batches_applied: u64,
+    /// Rows rewritten by applied update batches.
+    pub update_rows_applied: u64,
+    /// Superseded rows retired after the post-publish synchronize.
+    pub update_rows_retired: u64,
+    /// Update batches rolled back whole (injected crash mid-batch).
+    pub update_rollbacks: u64,
+    /// Duplicate (already-published) update batches rejected.
+    pub update_duplicates_rejected: u64,
+    /// Injected publish delays honored mid-update.
+    pub update_publish_delays: u64,
+    /// Epoch synchronizations completed by the retire step.
+    pub update_synchronizations: u64,
+    /// Readers currently pinned into the update epoch (gauge; racy).
+    pub pinned_readers: u64,
 }
 
 impl StoreStats {
@@ -825,6 +1297,12 @@ impl StoreStats {
             prefetch_hits: self.prefetch_hits.saturating_sub(base.prefetch_hits),
             prefetch_late: self.prefetch_late.saturating_sub(base.prefetch_late),
             prefetch_wasted: self.prefetch_wasted.saturating_sub(base.prefetch_wasted),
+            prefetch_aborted_stale: self
+                .prefetch_aborted_stale
+                .saturating_sub(base.prefetch_aborted_stale),
+            tier_invalidations: self
+                .tier_invalidations
+                .saturating_sub(base.tier_invalidations),
             combined_hits: self.combined_hits.saturating_sub(base.combined_hits),
             combined_fills: self.combined_fills.saturating_sub(base.combined_fills),
             combined_evictions: self
@@ -833,6 +1311,25 @@ impl StoreStats {
             combined_lookups_saved: self
                 .combined_lookups_saved
                 .saturating_sub(base.combined_lookups_saved),
+            update_batches_applied: self
+                .update_batches_applied
+                .saturating_sub(base.update_batches_applied),
+            update_rows_applied: self
+                .update_rows_applied
+                .saturating_sub(base.update_rows_applied),
+            update_rows_retired: self
+                .update_rows_retired
+                .saturating_sub(base.update_rows_retired),
+            update_rollbacks: self.update_rollbacks.saturating_sub(base.update_rollbacks),
+            update_duplicates_rejected: self
+                .update_duplicates_rejected
+                .saturating_sub(base.update_duplicates_rejected),
+            update_publish_delays: self
+                .update_publish_delays
+                .saturating_sub(base.update_publish_delays),
+            update_synchronizations: self
+                .update_synchronizations
+                .saturating_sub(base.update_synchronizations),
             ..self.clone()
         }
     }
@@ -1099,6 +1596,60 @@ mod tests {
     }
 
     #[test]
+    fn cache_only_degrade_overlapping_update_retires_cached_rows() {
+        let s = store(StoreConfig {
+            cache_capacity_rows: 8,
+            ..StoreConfig::default()
+        });
+        let data = filled(10, 4);
+        s.register(9, 0, 10, 4, &data).unwrap();
+        let pin = s.pin(s.lookup(9, 0).unwrap());
+        let mut out = vec![0.0f32; 4];
+        pin.read_row(2, &mut out); // warm rows 2 and 4
+        pin.read_row(4, &mut out);
+        s.set_cache_only(true);
+
+        // A rolling update lands while the store is degraded. The ladder
+        // throttles *new* update batches upstream, but one already in
+        // flight still publishes — and the cached pre-update rows it
+        // touched must be retired. CacheOnly never pins a cached row
+        // past its version.
+        s.apply_update(
+            &UpdateBatch {
+                namespace: 9,
+                target_version: 1,
+                deltas: vec![delta(0, 2, &[9.0, 9.0, 9.0, 9.0])],
+            },
+            UpdateFault::None,
+        )
+        .unwrap();
+        assert_eq!(s.namespace_version(9), 1);
+
+        // The updated row's cached copy was invalidated; in cache-only
+        // mode that miss is a quality-loss skip (zeros) — never the
+        // stale pre-update bytes.
+        pin.read_row(2, &mut out);
+        assert_eq!(
+            out, [0.0; 4],
+            "stale pre-update bytes served from the cache after retirement"
+        );
+        // The untouched warm row still serves its (valid) cached copy.
+        pin.read_row(4, &mut out);
+        assert_eq!(out, &data[16..20]);
+        assert!(s.stats().cache_only_skips >= 1);
+
+        // Leaving degraded mode: the next demand read decodes the new
+        // version from the cold shard and re-fills the cache...
+        s.set_cache_only(false);
+        pin.read_row(2, &mut out);
+        assert_eq!(out, [9.0; 4]);
+        // ...so a later degrade serves the *post-update* version warm.
+        s.set_cache_only(true);
+        pin.read_row(2, &mut out);
+        assert_eq!(out, [9.0; 4], "refill must carry the published version");
+    }
+
+    #[test]
     fn cache_only_is_refused_without_a_cache() {
         // With no hot rows to serve from, degrading would zero every
         // lookup — the store refuses rather than serving garbage.
@@ -1280,6 +1831,347 @@ mod tests {
         let flat = store(StoreConfig::default());
         flat.register(10, 0, 8, 2, &filled(8, 2)).unwrap();
         assert_eq!(flat.namespace_residency(10), (8, 8));
+    }
+
+    fn delta(ordinal: u32, row: u32, values: &[f32]) -> RowDelta {
+        RowDelta {
+            ordinal,
+            row,
+            values: values.to_vec(),
+        }
+    }
+
+    #[test]
+    fn apply_update_publishes_rows_and_version() {
+        let s = store(StoreConfig {
+            cache_capacity_rows: 8,
+            ..StoreConfig::default()
+        });
+        let h0 = s.register(7, 0, 10, 2, &filled(10, 2)).unwrap();
+        let h1 = s.register(7, 1, 10, 2, &filled(10, 2)).unwrap();
+        let (p0, p1) = (s.pin(h0), s.pin(h1));
+        let mut out = vec![0.0f32; 2];
+        p0.read_row(3, &mut out); // warm the cache with the pre-update row
+        assert_eq!(s.namespace_version(7), 0);
+        assert_eq!(p0.version(), 0);
+
+        let report = s
+            .apply_update(
+                &UpdateBatch {
+                    namespace: 7,
+                    target_version: 1,
+                    deltas: vec![delta(0, 3, &[1.0, 2.0]), delta(1, 5, &[3.0, 4.0])],
+                },
+                UpdateFault::None,
+            )
+            .unwrap();
+        assert_eq!(
+            report,
+            UpdateReport {
+                rows_applied: 2,
+                published_version: 1
+            }
+        );
+        assert_eq!(s.namespace_version(7), 1);
+        assert_eq!((p0.version(), p1.version()), (1, 1));
+        p0.read_row(3, &mut out);
+        assert_eq!(out, [1.0, 2.0], "cached pre-update row survived");
+        p1.read_row(5, &mut out);
+        assert_eq!(out, [3.0, 4.0]);
+        let stats = s.stats();
+        assert_eq!(stats.update_batches_applied, 1);
+        assert_eq!(stats.update_rows_applied, 2);
+        assert_eq!(stats.update_rows_retired, 2);
+        assert_eq!(stats.update_synchronizations, 1);
+        assert_eq!(stats.update_rollbacks, 0);
+    }
+
+    #[test]
+    fn apply_update_rejects_gaps_and_duplicates() {
+        let s = store(StoreConfig::default());
+        s.register(7, 0, 4, 2, &filled(4, 2)).unwrap();
+        let batch = |target| UpdateBatch {
+            namespace: 7,
+            target_version: target,
+            deltas: vec![delta(0, 1, &[9.0, 9.0])],
+        };
+        // Gap: v2 before v1.
+        assert_eq!(
+            s.apply_update(&batch(2), UpdateFault::None),
+            Err(StoreError::VersionConflict {
+                namespace: 7,
+                current: 0,
+                target: 2
+            })
+        );
+        s.apply_update(&batch(1), UpdateFault::None).unwrap();
+        // Duplicate: v1 replayed after v1 published.
+        assert_eq!(
+            s.apply_update(&batch(1), UpdateFault::None),
+            Err(StoreError::VersionConflict {
+                namespace: 7,
+                current: 1,
+                target: 1
+            })
+        );
+        assert_eq!(s.stats().update_duplicates_rejected, 1);
+        // The gap rejection was not counted as a duplicate.
+        assert_eq!(s.stats().update_batches_applied, 1);
+    }
+
+    #[test]
+    fn crash_mid_batch_rolls_back_atomically() {
+        let s = store(StoreConfig {
+            cache_capacity_rows: 8,
+            ..StoreConfig::default()
+        });
+        let data = filled(10, 2);
+        let h = s.register(7, 0, 10, 2, &data).unwrap();
+        let pin = s.pin(h);
+        let batch = UpdateBatch {
+            namespace: 7,
+            target_version: 1,
+            deltas: (0..4).map(|r| delta(0, r, &[5.0, 5.0])).collect(),
+        };
+        let err = s
+            .apply_update(&batch, UpdateFault::CrashMidBatch { batch: 0 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::UpdateAborted {
+                namespace: 7,
+                target: 1,
+                rows_rolled_back: 2
+            }
+        );
+        // Nothing visible: every row reads pre-batch, version unchanged.
+        let mut out = vec![0.0f32; 2];
+        for row in 0..4u32 {
+            pin.read_row(row, &mut out);
+            assert_eq!(out, &data[row as usize * 2..(row as usize + 1) * 2]);
+        }
+        assert_eq!(s.namespace_version(7), 0);
+        assert_eq!(s.stats().update_rollbacks, 1);
+        assert_eq!(s.stats().update_batches_applied, 0);
+        // Recovery: the same batch applies cleanly afterwards.
+        s.apply_update(&batch, UpdateFault::None).unwrap();
+        assert_eq!(s.namespace_version(7), 1);
+        pin.read_row(0, &mut out);
+        assert_eq!(out, [5.0, 5.0]);
+    }
+
+    #[test]
+    fn delayed_publish_still_lands() {
+        let s = store(StoreConfig::default());
+        s.register(7, 0, 4, 2, &filled(4, 2)).unwrap();
+        let report = s
+            .apply_update(
+                &UpdateBatch {
+                    namespace: 7,
+                    target_version: 1,
+                    deltas: vec![delta(0, 0, &[1.0, 1.0])],
+                },
+                UpdateFault::DelayPublish(std::time::Duration::from_millis(2)),
+            )
+            .unwrap();
+        assert_eq!(report.published_version, 1);
+        assert_eq!(s.stats().update_publish_delays, 1);
+    }
+
+    #[test]
+    fn malformed_updates_are_typed_and_touch_nothing() {
+        let s = store(StoreConfig::default());
+        let data = filled(4, 2);
+        let h = s.register(7, 0, 4, 2, &data).unwrap();
+        let pin = s.pin(h);
+        // Unregistered ordinal — even when other deltas are valid, the
+        // batch rejects whole before any row is touched.
+        assert_eq!(
+            s.apply_update(
+                &UpdateBatch {
+                    namespace: 7,
+                    target_version: 1,
+                    deltas: vec![delta(0, 0, &[9.0, 9.0]), delta(3, 0, &[9.0, 9.0])],
+                },
+                UpdateFault::None,
+            ),
+            Err(StoreError::TableNotRegistered {
+                namespace: 7,
+                ordinal: 3
+            })
+        );
+        // Row out of range.
+        assert_eq!(
+            s.apply_update(
+                &UpdateBatch {
+                    namespace: 7,
+                    target_version: 1,
+                    deltas: vec![delta(0, 4, &[9.0, 9.0])],
+                },
+                UpdateFault::None,
+            ),
+            Err(StoreError::RowOutOfRange { row: 4, rows: 4 })
+        );
+        // Wrong row width.
+        assert_eq!(
+            s.apply_update(
+                &UpdateBatch {
+                    namespace: 7,
+                    target_version: 1,
+                    deltas: vec![delta(0, 0, &[9.0])],
+                },
+                UpdateFault::None,
+            ),
+            Err(StoreError::DataSizeMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+        // Unknown namespace.
+        assert!(matches!(
+            s.apply_update(
+                &UpdateBatch {
+                    namespace: 8,
+                    target_version: 1,
+                    deltas: vec![],
+                },
+                UpdateFault::None,
+            ),
+            Err(StoreError::TableNotRegistered { namespace: 8, .. })
+        ));
+        // No row moved, no version advanced.
+        let mut out = vec![0.0f32; 2];
+        pin.read_row(0, &mut out);
+        assert_eq!(out, &data[0..2]);
+        assert_eq!(s.namespace_version(7), 0);
+    }
+
+    #[test]
+    fn try_pin_and_lookup_return_typed_errors() {
+        let s = store(StoreConfig::default());
+        let h = s.register(7, 0, 4, 2, &filled(4, 2)).unwrap();
+        assert!(s.try_pin(h).is_ok());
+        assert_eq!(
+            s.try_pin(TableHandle(5)).err(),
+            Some(StoreError::UnknownTable {
+                handle: 5,
+                tables: 1
+            })
+        );
+        assert_eq!(s.lookup(7, 0), Ok(h));
+        assert_eq!(
+            s.lookup(7, 1),
+            Err(StoreError::TableNotRegistered {
+                namespace: 7,
+                ordinal: 1
+            })
+        );
+    }
+
+    #[test]
+    fn cache_only_mode_respects_version_retirement() {
+        // Satellite: a rolling update overlapping CacheOnly degrade must
+        // not let the degraded cache serve retired (pre-update) rows.
+        let s = store(StoreConfig {
+            cache_capacity_rows: 8,
+            ..StoreConfig::default()
+        });
+        let data = filled(4, 2);
+        s.register(7, 0, 4, 2, &data).unwrap();
+        let pin = s.pin(s.lookup(7, 0).unwrap());
+        let mut out = vec![0.0f32; 2];
+        pin.read_row(1, &mut out); // warm row 1 with the v0 value
+        s.set_cache_only(true);
+        s.apply_update(
+            &UpdateBatch {
+                namespace: 7,
+                target_version: 1,
+                deltas: vec![delta(0, 1, &[8.0, 8.0])],
+            },
+            UpdateFault::None,
+        )
+        .unwrap();
+        // Degraded read: the retired v0 row was invalidated, so the miss
+        // zero-fills (quality loss) rather than serving stale state.
+        pin.read_row(1, &mut out);
+        assert_eq!(out, [0.0, 0.0], "retired row served from degraded cache");
+        // Back to full service: the v1 value decodes from the shard.
+        s.set_cache_only(false);
+        pin.read_row(1, &mut out);
+        assert_eq!(out, [8.0, 8.0]);
+    }
+
+    #[test]
+    fn update_row_invalidates_tier_residency() {
+        let s = store(tiered_cfg(50, false));
+        let h = s.register(1, 0, 10, 2, &filled(10, 2)).unwrap();
+        let pin = s.pin(h);
+        let mut acc = vec![0.0f32; 2];
+        pin.sum_row(3, &mut acc); // promote into the DRAM tier
+        assert!(pin.is_resident(3));
+        pin.update_row(3, &[1.0, 1.0]).unwrap();
+        assert!(!pin.is_resident(3), "updated row kept pre-update residency");
+        assert_eq!(s.stats().tier_invalidations, 1);
+    }
+
+    #[test]
+    fn read_row_raw_bypasses_cache_and_counters() {
+        let s = store(StoreConfig {
+            cache_capacity_rows: 8,
+            ..StoreConfig::default()
+        });
+        let data = filled(4, 2);
+        let h = s.register(7, 0, 4, 2, &data).unwrap();
+        let pin = s.pin(h);
+        let mut out = vec![0.0f32; 2];
+        pin.read_row_raw(2, &mut out).unwrap();
+        assert_eq!(out, &data[4..6]);
+        let stats = s.stats();
+        assert_eq!((stats.lookups, stats.cache_misses), (0, 0));
+        assert_eq!(
+            pin.read_row_raw(9, &mut out),
+            Err(StoreError::RowOutOfRange { row: 9, rows: 4 })
+        );
+        let mut short = vec![0.0f32; 1];
+        assert_eq!(
+            pin.read_row_raw(0, &mut short),
+            Err(StoreError::DataSizeMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn pinned_reader_blocks_retirement_until_unpinned() {
+        let s = store(StoreConfig::default());
+        s.register(7, 0, 4, 2, &filled(4, 2)).unwrap();
+        let released = Arc::new(drec_sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let (s, released) = (Arc::clone(&s), Arc::clone(&released));
+            std::thread::spawn(move || {
+                let guard = s.pin_epoch();
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                released.store(true, Ordering::SeqCst);
+                drop(guard);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        assert_eq!(s.stats().pinned_readers, 1);
+        s.apply_update(
+            &UpdateBatch {
+                namespace: 7,
+                target_version: 1,
+                deltas: vec![delta(0, 0, &[1.0, 1.0])],
+            },
+            UpdateFault::None,
+        )
+        .unwrap();
+        assert!(
+            released.load(Ordering::SeqCst),
+            "apply_update retired rows while a pre-publish reader was pinned"
+        );
+        reader.join().unwrap();
     }
 
     #[test]

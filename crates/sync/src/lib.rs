@@ -16,7 +16,9 @@
 //! 2. **Lock-free building blocks.** [`EventCount`] (pulse-gated parking
 //!    that replaces condvar broadcast) and [`EvictRing`] (a bounded MPMC
 //!    ring with priority swap-eviction) are the two structures the
-//!    batcher's lock-free queue is assembled from.
+//!    batcher's lock-free queue is assembled from; [`EpochGc`] is the
+//!    epoch-based-reclamation cell the parameter store's live-update
+//!    protocol pins readers with (no locks on the read hot path).
 //! 3. **Shared policy helpers.** [`CachePadded`] kills false sharing
 //!    between hot counters, and [`lock_recover`]/[`read_recover`]/
 //!    [`write_recover`] centralize the repo's poison-recovery policy for
@@ -27,9 +29,11 @@
 pub mod model;
 mod primitives;
 
+mod epoch;
 mod event;
 mod ring;
 
+pub use epoch::{EpochGc, EpochGuard};
 pub use event::EventCount;
 pub use primitives::{
     atomic, spin_loop, Condvar, Mutex, MutexGuard, Ordering, RwLock, WaitOutcome,

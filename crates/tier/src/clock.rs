@@ -126,6 +126,27 @@ impl ResidencyClock {
         }
     }
 
+    /// Removes `key` from the resident set (a row-update invalidation:
+    /// the DRAM copy is superseded, so residency must be re-earned from
+    /// the new bytes). Returns whether the key was resident. The vacated
+    /// slot is backfilled by the last slot, so the clock stays dense;
+    /// the hand is clamped back into range.
+    pub(crate) fn remove(&mut self, key: u64) -> bool {
+        let Some(i) = self.map.remove(&key) else {
+            return false;
+        };
+        let last = self.slots.len() - 1;
+        self.slots.swap(i, last);
+        self.slots.pop();
+        if i < self.slots.len() {
+            self.map.insert(self.slots[i].key, i);
+        }
+        if self.hand > self.slots.len() {
+            self.hand = 0;
+        }
+        true
+    }
+
     /// Inserts `key` (no-op if already resident), evicting the CLOCK
     /// victim when the budget is full. `prefetched` seeds the
     /// prefetched-unused flag on a fresh insert.
@@ -248,6 +269,24 @@ mod tests {
                 s.referenced = false;
             }
         }
+    }
+
+    #[test]
+    fn remove_vacates_and_backfills() {
+        let mut c = ResidencyClock::new(4);
+        for k in [1u64, 2, 3, 4] {
+            c.insert(k, false);
+        }
+        assert!(c.remove(2));
+        assert!(!c.remove(2), "double remove reports absent");
+        assert!(!c.contains(2));
+        assert_eq!(c.resident(), 3);
+        // The backfilled slot (key 4 moved into 2's place) still resolves.
+        assert!(c.contains(4) && c.contains(1) && c.contains(3));
+        // Room freed: the next insert must not evict.
+        let ins = c.insert(5, false);
+        assert!(!ins.evicted);
+        assert_eq!(c.resident(), 4);
     }
 
     #[test]

@@ -102,6 +102,13 @@ pub struct TierStats {
     pub prefetch_late: u64,
     /// Prefetched rows evicted before any demand access used them.
     pub prefetch_wasted: u64,
+    /// Prefetch fills aborted because the row was rewritten between the
+    /// fill's start and its residency insert — parking the pre-update
+    /// bytes as resident would have served a retired row for free.
+    pub prefetch_aborted_stale: u64,
+    /// Row-update invalidations applied to the tier (residency and/or
+    /// pending prefetch intent dropped).
+    pub invalidations: u64,
 }
 
 impl TierStats {
@@ -128,6 +135,10 @@ impl TierStats {
             prefetch_hits: self.prefetch_hits.saturating_sub(base.prefetch_hits),
             prefetch_late: self.prefetch_late.saturating_sub(base.prefetch_late),
             prefetch_wasted: self.prefetch_wasted.saturating_sub(base.prefetch_wasted),
+            prefetch_aborted_stale: self
+                .prefetch_aborted_stale
+                .saturating_sub(base.prefetch_aborted_stale),
+            invalidations: self.invalidations.saturating_sub(base.invalidations),
         }
     }
 
@@ -192,6 +203,8 @@ pub struct TierEngine {
     prefetch_hits: AtomicU64,
     prefetch_late: AtomicU64,
     prefetch_wasted: AtomicU64,
+    prefetch_aborted_stale: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl TierEngine {
@@ -218,6 +231,8 @@ impl TierEngine {
             prefetch_hits: AtomicU64::new(0),
             prefetch_late: AtomicU64::new(0),
             prefetch_wasted: AtomicU64::new(0),
+            prefetch_aborted_stale: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -343,6 +358,22 @@ impl TierEngine {
     /// and promotes the row flagged prefetched-unused. No-op when the
     /// row went resident in the meantime (a demand read won the race).
     pub fn prefetch_fill(&self, key: u64) {
+        self.prefetch_fill_if(key, || true);
+    }
+
+    /// [`TierEngine::prefetch_fill`] with a staleness re-verify: `verify`
+    /// runs *under the residency lock* immediately before the insert,
+    /// and a `false` abandons the fill (counted `prefetch_aborted_stale`)
+    /// instead of parking the row.
+    ///
+    /// The store passes a closure comparing the owning table's write
+    /// stamp against the value captured when the fill began. Because the
+    /// update path bumps the stamp before calling
+    /// [`TierEngine::invalidate`] — which takes the same lock — the two
+    /// linearize: either the fill sees the bumped stamp and aborts, or
+    /// it inserts first and the update's invalidate removes it. A stale
+    /// pre-update fill can never survive as resident.
+    pub fn prefetch_fill_if(&self, key: u64, verify: impl FnOnce() -> bool) {
         let was_pending = self.lock_pending().remove(&key);
         if self.lock_clock().contains(key) {
             return;
@@ -353,12 +384,31 @@ impl TierEngine {
             self.prefetch_issued.fetch_add(1, Ordering::Relaxed);
         }
         self.charge_cold_read(&self.prefetch_wait_nanos);
-        let inserted = self.lock_clock().insert(key, true);
+        let mut clock = self.lock_clock();
+        if !verify() {
+            drop(clock);
+            self.prefetch_aborted_stale.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let inserted = clock.insert(key, true);
+        drop(clock);
         self.promotions.fetch_add(1, Ordering::Relaxed);
         self.prefetch_fills.fetch_add(1, Ordering::Relaxed);
         if inserted.evicted_prefetched_unused {
             self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Drops `key` from the tier on a row update: the DRAM-resident copy
+    /// (if any) is superseded, and a pending prefetch intent would fill
+    /// from a retired view. Returns whether anything was dropped.
+    pub fn invalidate(&self, key: u64) -> bool {
+        let pending = self.lock_pending().remove(&key);
+        let resident = self.lock_clock().remove(key);
+        if pending || resident {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        pending || resident
     }
 
     /// Whether `key` is currently DRAM-resident (no side effects).
@@ -396,6 +446,8 @@ impl TierEngine {
             prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
             prefetch_late: self.prefetch_late.load(Ordering::Relaxed),
             prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
+            prefetch_aborted_stale: self.prefetch_aborted_stale.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -501,6 +553,47 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.cold_demand_reads, 2);
         assert_eq!(s.promotions, 2);
+    }
+
+    #[test]
+    fn invalidate_drops_residency_and_pending_intent() {
+        let t = charge_only(4);
+        t.demand_access(7); // resident
+        assert!(t.note_intent(8)); // pending
+        assert!(t.invalidate(7));
+        assert!(t.invalidate(8));
+        assert!(!t.invalidate(9), "unknown key is a no-op");
+        assert!(!t.is_resident(7));
+        // A filled intent for 8 was dropped: a new intent is accepted.
+        assert!(t.note_intent(8));
+        assert_eq!(t.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn stale_fill_aborts_instead_of_parking_retired_bytes() {
+        // The satellite-2 interleaving, driven deterministically: a fill
+        // captures the table's write stamp, the row is updated (stamp
+        // bump + invalidate) mid-fill, and the fill's verify must abort.
+        let t = charge_only(4);
+        let stamp = AtomicU64::new(0);
+        assert!(t.note_intent(5));
+        let observed = stamp.load(Ordering::Acquire); // fill begins
+        stamp.fetch_add(1, Ordering::AcqRel); // update lands mid-fill
+        t.invalidate(5);
+        t.prefetch_fill_if(5, || stamp.load(Ordering::Acquire) == observed);
+        assert!(
+            !t.is_resident(5),
+            "a fill that raced a row update parked stale bytes as resident"
+        );
+        let s = t.stats();
+        assert_eq!(s.prefetch_aborted_stale, 1);
+        assert_eq!(s.prefetch_fills, 0);
+        // The same fill with an unchanged stamp parks normally.
+        assert!(t.note_intent(5));
+        let observed = stamp.load(Ordering::Acquire);
+        t.prefetch_fill_if(5, || stamp.load(Ordering::Acquire) == observed);
+        assert!(t.is_resident(5));
+        assert_eq!(t.stats().prefetch_fills, 1);
     }
 
     #[test]
